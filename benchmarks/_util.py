@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment writes its formatted output (the reproduction of the
+paper's table or figure) to ``benchmarks/results/<name>.txt`` *and* prints
+it, so both ``pytest benchmarks/ --benchmark-only -s`` and the results
+directory carry the numbers that EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+__all__ = ["emit", "RESULTS_DIR"]
+
+
+def emit(name: str, text: str) -> Path:
+    """Print ``text`` and persist it under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+    return path

@@ -1,0 +1,165 @@
+"""Ablation of the paper's central design choice: degree bucketing.
+
+The paper's thesis: scaling threads-per-vertex with degree (7 buckets,
+sub-warp groups -> warp -> block, shared tables where they fit) beats the
+node-centric assignment of all earlier implementations, and the advantage
+grows with degree skew.  The cost model replays one hashing sweep under
+each strategy on the same K40m parameters:
+
+* ``bucketed``      — the paper's scheme;
+* ``node-centric``  — one thread per vertex (Forster [9], PLM-on-GPU);
+* ``fixed-g``       — one group size for everything (no binning);
+* ``sort-based``    — Cheong et al.'s sort kernel, node-centric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import banner, format_table
+from repro.bench.suite import SUITE
+from repro.gpu.costmodel import CostModel
+from repro.parallel.costcompare import (
+    bucketed_sweep_cycles,
+    node_centric_sweep_cycles,
+    single_group_sweep_cycles,
+)
+from repro.parallel.sortbased import sort_kernel_cycles
+
+from _util import emit
+
+GRAPH_NAMES = (
+    "uk-2002",  # heavy skew: bucketing's best case
+    "com-orkut",
+    "hollywood-2009",
+    "audikw_1",  # dense uniform mesh
+    "rgg_n_2_22_s0",
+    "road_usa",  # uniform tiny degrees: worst case for bucketing gains
+)
+
+
+@pytest.fixture(scope="module")
+def cost_rows():
+    from repro.graph.generators import rmat
+
+    cm = CostModel()
+    rows = []
+    # The suite's web analog trades some skew for community structure;
+    # real uk-2002 has max degree ~194k, so include a raw R-MAT with the
+    # full Graph500 skew as the extreme load-balance case.
+    extreme = [("rmat-13 (web-degree skew)", rmat(13, 16, rng=0))]
+    for name in GRAPH_NAMES:
+        entry = next(e for e in SUITE if e.name == name)
+        extreme_or_suite = entry.load()
+        rows.append(
+            (
+                entry,
+                extreme_or_suite,
+                bucketed_sweep_cycles(extreme_or_suite, cm),
+                node_centric_sweep_cycles(extreme_or_suite, cm),
+                single_group_sweep_cycles(extreme_or_suite, cm, 8),
+                single_group_sweep_cycles(extreme_or_suite, cm, 32),
+                sort_kernel_cycles(extreme_or_suite, cm),
+            )
+        )
+    for label, graph in extreme:
+        fake = SUITE[0].__class__(
+            name=label, family="web", paper_vertices=graph.num_vertices,
+            paper_edges=graph.num_edges, paper_seq_seconds=1.0,
+            paper_gpu_seconds=1.0,
+        )
+        rows.append(
+            (
+                fake,
+                graph,
+                bucketed_sweep_cycles(graph, cm),
+                node_centric_sweep_cycles(graph, cm),
+                single_group_sweep_cycles(graph, cm, 8),
+                single_group_sweep_cycles(graph, cm, 32),
+                sort_kernel_cycles(graph, cm),
+            )
+        )
+    return rows
+
+
+def test_bucketing_ablation(benchmark, cost_rows):
+    cm = CostModel()
+    entry0, graph0 = cost_rows[0][0], cost_rows[0][1]
+    benchmark.pedantic(
+        lambda: bucketed_sweep_cycles(graph0, cm), rounds=3, iterations=1
+    )
+
+    table_rows = []
+    skew_ratios = []
+    for entry, graph, bucketed, node_centric, fixed8, fixed32, sort_c in cost_rows:
+        skew = graph.degrees.max() / max(graph.degrees.mean(), 1)
+        skew_ratios.append((skew, node_centric / bucketed))
+        table_rows.append(
+            [
+                entry.name,
+                int(graph.degrees.max()),
+                f"{skew:.1f}",
+                f"{bucketed:.3g}",
+                f"{node_centric / bucketed:.2f}",
+                f"{fixed8 / bucketed:.2f}",
+                f"{fixed32 / bucketed:.2f}",
+                f"{sort_c / bucketed:.2f}",
+            ]
+        )
+    table = format_table(
+        ["graph", "max deg", "skew", "bucketed cyc", "node-centric x",
+         "fixed-8 x", "fixed-32 x", "sort x"],
+        table_rows,
+    )
+    # The load-balance win should grow with skew.
+    skew_ratios.sort()
+    low_skew_gain = np.mean([g for s, g in skew_ratios[:2]])
+    high_skew_gain = np.mean([g for s, g in skew_ratios[-2:]])
+    summary = (
+        f"node-centric/bucketed ratio at low skew: {low_skew_gain:.2f}x, "
+        f"at high skew: {high_skew_gain:.2f}x\n"
+        "(the paper's premise: bucketing matters exactly where degrees vary;\n"
+        " a fixed group size tuned to one graph's degree can win there —\n"
+        " fixed-8 on uniform meshes — but no fixed size is near-best on\n"
+        " every class, while bucketing always is)"
+    )
+    emit("bucketing_ablation", banner("Bucketing ablation (cost model)") + "\n" + table + "\n\n" + summary)
+
+    best_fixed_gap = 0.0
+    worst_fixed8 = worst_fixed32 = 0.0
+    for _, _, bucketed, node_centric, fixed8, fixed32, _ in cost_rows:
+        assert bucketed <= node_centric  # bucketing never loses to node-centric
+        best_fixed_gap = max(best_fixed_gap, bucketed / min(fixed8, fixed32, bucketed))
+        worst_fixed8 = max(worst_fixed8, fixed8 / bucketed)
+        worst_fixed32 = max(worst_fixed32, fixed32 / bucketed)
+    # Bucketing stays within a small factor of the per-graph best fixed
+    # size, while each fixed size has a class it handles badly.
+    assert best_fixed_gap < 3.0
+    assert worst_fixed8 > 1.5
+    assert worst_fixed32 > 1.5
+    assert high_skew_gain > low_skew_gain
+
+
+def test_shared_memory_matters(benchmark):
+    """Re-pricing shared probes at global latency shows why the paper
+    fights to keep tables in shared memory."""
+    from repro.gpu.costmodel import CostParameters
+
+    entry = next(e for e in SUITE if e.name == "com-orkut")
+    graph = entry.load()
+    normal = CostModel()
+    no_shared = CostModel(
+        params=CostParameters(probe_shared=60.0, atomic_shared=120.0)
+    )
+    fast = benchmark.pedantic(
+        lambda: bucketed_sweep_cycles(graph, normal), rounds=3, iterations=1
+    )
+    slow = bucketed_sweep_cycles(graph, no_shared)
+    emit(
+        "shared_memory_ablation",
+        f"bucketed sweep, shared tables: {fast:.3g} cycles; "
+        f"tables priced at global latency: {slow:.3g} cycles "
+        f"({slow / fast:.1f}x)",
+    )
+    assert slow > 2 * fast

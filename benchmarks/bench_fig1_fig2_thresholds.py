@@ -1,0 +1,95 @@
+"""Figures 1 and 2: modularity and speedup across the (t_bin, t_final) grid.
+
+Paper: t_bin in {1e-1..1e-4}, t_final in {1e-3..1e-7}; average relative
+modularity never drops more than 2% below sequential (Figure 1) and
+speedup is "critically dependent on t_bin, with higher values giving
+better speedup" (Figure 2).  The chosen operating point is (1e-2, 1e-6):
+>99% relative modularity at ~63% of the per-graph best speedup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import banner, format_table
+from repro.bench.runner import threshold_grid
+from repro.bench.suite import SUITE
+
+from _util import emit
+
+# The grid sweep runs |bins| * |finals| GPU solves per graph: use a
+# representative cross-section (power-law, mesh, road, social, kkt).
+GRAPH_NAMES = ("cnr-2000", "boneS10_M", "italy_osm", "com-youtube", "nlpkkt120")
+T_BINS = (1e-1, 1e-2, 1e-3, 1e-4)
+T_FINALS = (1e-3, 1e-4, 1e-5, 1e-6, 1e-7)
+
+
+@pytest.fixture(scope="module")
+def cells():
+    entries = [e for e in SUITE if e.name in GRAPH_NAMES]
+    assert len(entries) == len(GRAPH_NAMES)
+    return threshold_grid(entries, T_BINS, T_FINALS)
+
+
+def test_threshold_grid(benchmark, cells):
+    """Regenerate both figures' grids."""
+    from repro.bench.runner import run_gpu
+    from repro.bench.suite import load_suite_graph
+
+    graph = load_suite_graph("com-youtube")
+    benchmark.pedantic(
+        lambda: run_gpu(graph, threshold_bin=1e-2, threshold_final=1e-6),
+        rounds=3,
+        iterations=1,
+    )
+
+    # Figure 2's y-axis is speedup relative to the best configuration per
+    # graph; equivalently (and monotonically), mean seconds per cell
+    # relative to the per-graph minimum.
+    per_graph = np.array([c.per_graph_seconds for c in cells])  # cells x graphs
+    best = per_graph.min(axis=0)
+    rel_speedup = (best / per_graph).mean(axis=1)
+
+    rows = [
+        [
+            f"{c.threshold_bin:.0e}",
+            f"{c.threshold_final:.0e}",
+            c.mean_relative_modularity,
+            c.mean_seconds,
+            rel_speedup[i],
+        ]
+        for i, c in enumerate(cells)
+    ]
+    table = format_table(
+        ["t_bin", "t_final", "rel modularity (fig 1)", "mean s", "rel speedup (fig 2)"],
+        rows,
+        floatfmt=".4f",
+    )
+
+    # Headline checks, mirroring the paper's reading of the figures.
+    worst_mod = min(c.mean_relative_modularity for c in cells)
+    chosen = next(
+        c for c in cells if c.threshold_bin == 1e-2 and c.threshold_final == 1e-6
+    )
+    coarse_bins = [c for c in cells if c.threshold_bin == 1e-1]
+    fine_bins = [c for c in cells if c.threshold_bin == 1e-4]
+    mean_coarse = np.mean([c.mean_seconds for c in coarse_bins])
+    mean_fine = np.mean([c.mean_seconds for c in fine_bins])
+
+    summary = (
+        f"worst mean relative modularity over grid: {worst_mod:.4f} "
+        f"(paper: never below 0.98)\n"
+        f"chosen point (1e-2, 1e-6): rel modularity {chosen.mean_relative_modularity:.4f} "
+        f"(paper: >0.99)\n"
+        f"mean seconds at t_bin=1e-1: {mean_coarse:.3f}  at t_bin=1e-4: {mean_fine:.3f} "
+        f"(paper: higher t_bin -> faster)"
+    )
+    emit(
+        "fig1_fig2_thresholds",
+        banner("Figures 1-2: threshold grid") + "\n" + table + "\n\n" + summary,
+    )
+
+    assert worst_mod > 0.9
+    assert chosen.mean_relative_modularity > 0.95
+    assert mean_coarse <= mean_fine * 1.2

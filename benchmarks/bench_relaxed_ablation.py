@@ -1,0 +1,104 @@
+"""Section 5's relaxed-update ablation.
+
+Paper: committing moves only at the end of each full sweep (the pure
+fine-grained model) instead of after every bucket changes final modularity
+by less than 0.13% on average, but can make the run up to 10x slower —
+typically via the optimization phase right after the t_bin -> t_final
+switch; the number of phases sometimes shrinks but extra sweeps offset it.
+
+Reproduction note (recorded in EXPERIMENTS.md): under *strictly*
+synchronous semantics the relaxed sweep enters move limit-cycles on
+graphs with hubs (thousands of vertices swap forever; we verified a
+stable 2543-vertex cycle on the com-youtube analog), so quality holds on
+mesh/road classes but drops on social graphs.  The paper's <0.13% claim
+evidently depends on some residual asynchrony in their relaxed binary
+that Section 5 does not specify; the *actionable* findings — relaxed is
+never better and never usefully faster, so the per-bucket commit is the
+right default — reproduce cleanly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import banner, format_table
+from repro.bench.runner import run_gpu
+from repro.bench.suite import SUITE
+
+from _util import emit
+
+GRAPH_NAMES = (
+    "com-youtube",
+    "cnr-2000",
+    "nlpkkt120",
+    "italy_osm",
+    "boneS10_M",
+    "rgg_n_2_22_s0",
+)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    rows = []
+    for name in GRAPH_NAMES:
+        entry = next(e for e in SUITE if e.name == name)
+        graph = entry.load()
+        bucketed = run_gpu(graph)
+        relaxed = run_gpu(graph, relaxed_updates=True)
+        rows.append((entry, bucketed, relaxed))
+    return rows
+
+
+def test_relaxed_vs_bucketed(benchmark, runs):
+    entry0 = runs[0][0]
+    graph0 = entry0.load()
+    benchmark.pedantic(
+        lambda: run_gpu(graph0, relaxed_updates=True), rounds=2, iterations=1
+    )
+
+    table_rows = []
+    q_diffs = []
+    slowdowns = []
+    for entry, bucketed, relaxed in runs:
+        q_diff = abs(bucketed.modularity - relaxed.modularity) / max(
+            bucketed.modularity, 1e-12
+        )
+        q_diffs.append(q_diff)
+        slowdowns.append(relaxed.seconds / bucketed.seconds)
+        table_rows.append(
+            [
+                entry.name,
+                bucketed.modularity,
+                relaxed.modularity,
+                bucketed.seconds,
+                relaxed.seconds,
+                relaxed.seconds / bucketed.seconds,
+                sum(bucketed.result.sweeps_per_level),
+                sum(relaxed.result.sweeps_per_level),
+            ]
+        )
+    table = format_table(
+        ["graph", "Q bucketed", "Q relaxed", "s bucketed", "s relaxed",
+         "slowdown", "sweeps b", "sweeps r"],
+        table_rows,
+        floatfmt=".4f",
+    )
+    summary = (
+        f"mean |Q difference|: {np.mean(q_diffs) * 100:.3f}% "
+        f"(paper: < 0.13%; see module docstring for the synchrony caveat)\n"
+        f"relaxed slowdown: mean={np.mean(slowdowns):.2f}x max={max(slowdowns):.2f}x "
+        f"(paper: up to 10x in some cases)"
+    )
+    emit("relaxed_ablation", banner("Relaxed-update ablation (Section 5)") + "\n" + table + "\n\n" + summary)
+
+    # Relaxed never *improves* quality ...
+    for _, bucketed, relaxed in runs:
+        assert relaxed.modularity <= bucketed.modularity + 1e-6
+    # ... holds quality on the mesh/road classes (no hub oscillation) ...
+    structured = {"italy_osm", "rgg_n_2_22_s0", "nlpkkt120", "boneS10_M"}
+    for entry, bucketed, relaxed in runs:
+        if entry.name in structured:
+            assert relaxed.modularity > 0.85 * bucketed.modularity
+    # ... and never delivers a meaningful speedup.
+    assert np.mean(slowdowns) > 0.8

@@ -1,0 +1,86 @@
+"""Section 5's TEPS comparison.
+
+Paper: their largest first-phase processing rate is 0.225 GTEPS (on
+channel-500), versus 1.54 GTEPS for the 524,288-thread Blue Gene/Q of
+Xinyu et al. — "less than a factor of 7" apart.  TEPS counts stored-edge
+traversals of the first modularity-optimization phase per second.
+
+At this reproduction's scale the engine is NumPy on a CPU, so absolute
+TEPS land in the MTEPS range; the shape to check is that the densest
+graphs give the best rates (hash work per edge is constant, per-vertex
+overhead amortises) and that the ratio to the paper's BG/Q figure is
+recorded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import banner, format_table
+from repro.bench.runner import run_gpu
+from repro.bench.suite import SUITE
+
+from _util import emit
+
+GRAPH_NAMES = (
+    "channel-500x100x100-b050",
+    "uk-2002",
+    "com-orkut",
+    "nlpkkt200",
+    "rgg_n_2_24_s0",
+    "europe_osm",
+    "road_usa",
+)
+
+BGQ_GTEPS = 1.54
+PAPER_BEST_GTEPS = 0.225
+
+
+@pytest.fixture(scope="module")
+def runs():
+    rows = []
+    for name in GRAPH_NAMES:
+        entry = next(e for e in SUITE if e.name == name)
+        graph = entry.load()
+        gpu = run_gpu(graph)
+        rows.append((entry, graph, gpu))
+    return rows
+
+
+def test_teps(benchmark, runs):
+    entry0, graph0, _ = runs[0]
+    benchmark.pedantic(lambda: run_gpu(graph0), rounds=2, iterations=1)
+
+    table_rows = []
+    rates = []
+    for entry, graph, gpu in runs:
+        teps = gpu.result.teps(graph)
+        rates.append((entry.name, teps.mteps, 2 * graph.num_edges / graph.num_vertices))
+        table_rows.append(
+            [
+                entry.name,
+                teps.edges_traversed,
+                teps.seconds,
+                teps.mteps,
+            ]
+        )
+    table = format_table(
+        ["graph", "edges traversed", "first-phase s", "MTEPS"], table_rows
+    )
+    best = max(r[1] for r in rates)
+    summary = (
+        f"best rate: {best:.2f} MTEPS "
+        f"(paper: 225 MTEPS on a K40m; BG/Q with 524288 threads: 1540 MTEPS, "
+        f"ratio < 7x)\n"
+        f"our engine / paper-K40m ratio: {best / (PAPER_BEST_GTEPS * 1000):.4f} "
+        f"(NumPy-on-CPU vs CUDA-on-K40m)"
+    )
+    emit("teps", banner("TEPS (Section 5)") + "\n" + table + "\n\n" + summary)
+
+    # Dense graphs should beat sparse road networks on TEPS.
+    by_name = {name: mteps for name, mteps, _ in rates}
+    assert best > 0
+    assert by_name["channel-500x100x100-b050"] > by_name["road_usa"] or (
+        by_name["uk-2002"] > by_name["road_usa"]
+    )

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Dynamic network analytics: track communities as a graph evolves.
+
+The paper's introduction motivates fast parallel Louvain with exactly
+this: "Timing issues can also be critical in areas such as dynamic
+network analytics where the input data changes continuously."  This
+example simulates a stream of edge insertions on a social network and
+re-clusters after each batch, warm-starting from the previous membership —
+typically an order of magnitude fewer sweeps than clustering from scratch.
+
+Run:  python examples/dynamic_communities.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import gpu_louvain
+from repro.graph.build import update_edges
+from repro.graph.generators import social_network
+from repro.metrics.quality import normalized_mutual_information
+
+
+def add_random_edges(graph, count, rng):
+    """Return a new graph with ``count`` extra random unit edges."""
+    eu = rng.integers(0, graph.num_vertices, count)
+    ev = rng.integers(0, graph.num_vertices, count)
+    keep = eu != ev
+    return update_edges(graph, add=(eu[keep], ev[keep], None))
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    graph = social_network(6000, 8, rng=1)
+    print(f"initial network: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges")
+
+    start = time.perf_counter()
+    current = gpu_louvain(graph, bin_vertex_limit=1_000)
+    print(f"initial clustering: Q = {current.modularity:.4f} "
+          f"in {time.perf_counter() - start:.2f}s "
+          f"({sum(current.sweeps_per_level)} sweeps)")
+
+    batch = max(10, graph.num_edges // 200)  # ~0.5% churn per step
+    print(f"\nstreaming {batch} new edges per step:\n")
+    print(f"{'step':>4s} {'edges':>7s} {'cold sweeps':>11s} {'warm sweeps':>11s} "
+          f"{'speedup':>8s} {'Q warm':>8s} {'NMI to prev':>11s}")
+
+    previous_membership = current.membership
+    for step in range(1, 6):
+        graph = add_random_edges(graph, batch, rng)
+
+        start = time.perf_counter()
+        cold = gpu_louvain(graph, bin_vertex_limit=1_000)
+        cold_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = gpu_louvain(
+            graph,
+            bin_vertex_limit=1_000,
+            initial_communities=previous_membership,
+        )
+        warm_seconds = time.perf_counter() - start
+
+        drift = normalized_mutual_information(
+            warm.membership, previous_membership
+        )
+        print(f"{step:4d} {graph.num_edges:7d} "
+              f"{sum(cold.sweeps_per_level):11d} "
+              f"{sum(warm.sweeps_per_level):11d} "
+              f"{cold_seconds / max(warm_seconds, 1e-9):7.1f}x "
+              f"{warm.modularity:8.4f} {drift:11.3f}")
+        previous_membership = warm.membership
+
+    print("\nwarm starts keep the hierarchy stable across updates (high NMI)"
+          "\nwhile skipping the expensive from-singletons first phase.")
+
+
+if __name__ == "__main__":
+    main()

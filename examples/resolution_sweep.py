@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Resolution sweep: pick the community granularity that fits your question.
+
+Standard modularity has a *resolution limit* — the paper's Section 6 cites
+Fortunato & Barthelemy [11] on algorithms "failing to identify communities
+smaller than a network dependent parameter".  The generalised modularity's
+gamma parameter is the standard control: gamma > 1 resolves smaller
+communities, gamma < 1 merges more aggressively.
+
+This example sweeps gamma on a graph with two natural scales (small cliques
+arranged in larger super-groups) and shows each gamma recovering a
+different level of the ground truth.
+
+Run:  python examples/resolution_sweep.py
+"""
+
+import numpy as np
+
+from repro import gpu_louvain
+from repro.graph.build import from_edges
+from repro.metrics.quality import adjusted_rand_index
+
+
+def two_scale_graph(
+    num_supergroups: int = 6,
+    cliques_per_group: int = 5,
+    clique_size: int = 6,
+    rng_seed: int = 0,
+):
+    """Cliques densely wired inside super-groups, sparse across.
+
+    Returns (graph, fine_truth, coarse_truth).
+    """
+    rng = np.random.default_rng(rng_seed)
+    n = num_supergroups * cliques_per_group * clique_size
+    fine = np.arange(n) // clique_size
+    coarse = np.arange(n) // (cliques_per_group * clique_size)
+    us, vs = [], []
+    # cliques
+    for c in range(num_supergroups * cliques_per_group):
+        base = c * clique_size
+        iu, iv = np.triu_indices(clique_size, k=1)
+        us.append(base + iu)
+        vs.append(base + iv)
+    # intra-supergroup links between cliques (moderately dense)
+    for sg in range(num_supergroups):
+        members = np.flatnonzero(coarse == sg)
+        extra = 4 * cliques_per_group
+        us.append(rng.choice(members, extra))
+        vs.append(rng.choice(members, extra))
+    # sparse inter-supergroup links
+    us.append(rng.integers(0, n, num_supergroups * 2))
+    vs.append(rng.integers(0, n, num_supergroups * 2))
+    u = np.concatenate(us)
+    v = np.concatenate(vs)
+    keep = u != v
+    return from_edges(u[keep], v[keep], num_vertices=n), fine, coarse
+
+
+def main() -> None:
+    graph, fine_truth, coarse_truth = two_scale_graph()
+    n_fine = np.unique(fine_truth).size
+    n_coarse = np.unique(coarse_truth).size
+    print(f"two-scale graph: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges")
+    print(f"ground truth: {n_fine} cliques inside {n_coarse} super-groups\n")
+
+    print(f"{'gamma':>6s} {'comms':>6s} {'Q_gamma':>8s} "
+          f"{'ARI fine':>9s} {'ARI coarse':>10s}")
+    for gamma in (0.1, 0.3, 1.0, 2.0, 4.0, 8.0):
+        result = gpu_louvain(graph, resolution=gamma)
+        ari_fine = adjusted_rand_index(result.membership, fine_truth)
+        ari_coarse = adjusted_rand_index(result.membership, coarse_truth)
+        marker = ""
+        if ari_coarse > 0.9:
+            marker = "  <- recovers the super-groups"
+        if ari_fine > 0.9:
+            marker = "  <- recovers the cliques"
+        print(f"{gamma:6.1f} {result.num_communities:6d} "
+              f"{result.modularity:8.4f} {ari_fine:9.3f} "
+              f"{ari_coarse:10.3f}{marker}")
+
+    print("\nlow gamma merges into super-groups; high gamma resolves the "
+          "individual cliques\n(the same graph, two legitimate answers).")
+
+
+if __name__ == "__main__":
+    main()

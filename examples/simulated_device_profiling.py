@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Profile the algorithm on the simulated GPU (Section 4.1 / Section 5).
+
+The ``engine="simulated"`` mode replays every kernel thread-group by
+thread-group against a Tesla K40m device model: real open-addressing hash
+tables, warp packing with divergence, shared vs global memory placement.
+It answers the questions a CUDA profiler would — active-thread fraction,
+per-kernel cycles, hash-probe efficiency — without a GPU.
+
+Run:  python examples/simulated_device_profiling.py
+"""
+
+import numpy as np
+
+from repro import gpu_louvain
+from repro.gpu.device import TESLA_K40M, DeviceSpec
+from repro.graph.generators import social_network
+
+
+def main() -> None:
+    graph = social_network(1500, 10, rng=3)
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges, "
+          f"degrees {graph.degrees.min()}..{graph.degrees.max()}")
+
+    result = gpu_louvain(graph, engine="simulated")
+    profile = result.profile
+
+    print(f"\nclustering: Q = {result.modularity:.4f} "
+          f"({result.num_levels} levels)")
+    print(f"simulated K40m wall-clock: {result.simulated_seconds * 1e3:.3f} ms")
+    print(f"active-thread fraction: {profile.active_thread_fraction():.3f} "
+          f"(paper measured 0.625 on uk-2002)")
+
+    # --- per-kernel accounting ------------------------------------------ #
+    print("\nper-kernel totals (level 0):")
+    level0 = profile.optimization[0]
+    for name, stats in sorted(level0.by_kernel().items()):
+        probes_per_edge = (
+            stats.hash_stats.probes / stats.num_edges if stats.num_edges else 0.0
+        )
+        print(f"  {name:28s} vertices={stats.num_vertices:5d} "
+              f"warp-cycles={stats.warp_cycles:10.0f} "
+              f"active={stats.active_thread_fraction:.3f} "
+              f"probes/edge={probes_per_edge:.2f}")
+
+    agg0 = profile.aggregation[0]
+    for name, stats in sorted(agg0.by_kernel().items()):
+        print(f"  {name:28s} items={stats.num_vertices:5d} "
+              f"warp-cycles={stats.warp_cycles:10.0f} "
+              f"active={stats.active_thread_fraction:.3f}")
+
+    # --- memory placement ------------------------------------------------ #
+    shared = sum(k.shared_bytes for p in profile.optimization for k in p.kernels)
+    global_ = sum(k.global_bytes for p in profile.optimization for k in p.kernels)
+    print(f"\nhash-table traffic: {shared / 1024:.0f} KiB shared, "
+          f"{global_ / 1024:.0f} KiB global")
+    print("(only vertices of degree > 319 — bucket 7 — spill to global memory)")
+
+    # --- what-if: a smaller device --------------------------------------- #
+    small = DeviceSpec(
+        name="half-K40m", num_sms=TESLA_K40M.num_sms // 2,
+        cores_per_sm=TESLA_K40M.cores_per_sm, clock_mhz=TESLA_K40M.clock_mhz,
+    )
+    small_result = gpu_louvain(graph, engine="simulated", device=small)
+    print(f"\nwhat-if on {small.name}: "
+          f"{small_result.simulated_seconds * 1e3:.3f} ms "
+          f"({small_result.simulated_seconds / result.simulated_seconds:.2f}x)")
+    assert np.array_equal(small_result.membership, result.membership), \
+        "device size must never change the clustering"
+    print("identical clustering on both devices (results are device-independent)")
+
+
+if __name__ == "__main__":
+    main()

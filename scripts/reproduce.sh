@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Reproduce everything: install, test, and regenerate every table/figure.
+#
+# Usage:  ./scripts/reproduce.sh
+#
+# Outputs land in benchmarks/results/*.txt; compare against the paper
+# numbers recorded in EXPERIMENTS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== install =="
+pip install -e . --no-build-isolation --quiet
+
+echo "== tests =="
+python -m pytest tests/ 2>&1 | tee test_output.txt | tail -2
+
+echo "== experiments (all paper tables & figures) =="
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt | tail -4
+
+echo "== reproduced numbers =="
+ls benchmarks/results/
+echo
+echo "Full tables in benchmarks/results/*.txt; paper-vs-measured analysis in EXPERIMENTS.md."

@@ -1,0 +1,41 @@
+"""repro — reproduction of "Community Detection on the GPU" (IPDPS 2017).
+
+Public API quickstart::
+
+    from repro import gpu_louvain, from_edges
+
+    graph = from_edges([0, 1, 2, 3], [1, 2, 3, 0])
+    result = gpu_louvain(graph)
+    print(result.modularity, result.membership)
+
+Sub-packages:
+
+* :mod:`repro.graph`    — CSR graphs, generators, I/O
+* :mod:`repro.metrics`  — modularity, quality, TEPS, timings
+* :mod:`repro.seq`      — sequential Louvain baseline
+* :mod:`repro.gpu`      — simulated GPU substrate
+* :mod:`repro.core`     — the paper's bucketed edge-parallel algorithm
+* :mod:`repro.parallel` — comparator parallel implementations
+* :mod:`repro.bench`    — the Table-1 analog suite and experiment runner
+"""
+
+from .core import GPULouvainConfig, GPULouvainResult, gpu_louvain
+from .graph import CSRGraph, from_edges, load_graph
+from .metrics import modularity
+from .result import LouvainResult
+from .seq import louvain as sequential_louvain
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "gpu_louvain",
+    "GPULouvainConfig",
+    "GPULouvainResult",
+    "sequential_louvain",
+    "CSRGraph",
+    "from_edges",
+    "load_graph",
+    "modularity",
+    "LouvainResult",
+    "__version__",
+]

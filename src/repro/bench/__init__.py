@@ -1,0 +1,38 @@
+"""Benchmark suite (Table-1 analogs), experiment runner, and reporting."""
+
+from .reporting import banner, format_series, format_table, geometric_mean
+from .runner import (
+    SolverRun,
+    StageRow,
+    Table1Row,
+    ThresholdCell,
+    run_gpu,
+    run_sequential,
+    stage_breakdown,
+    table1_rows,
+    threshold_grid,
+    timed,
+)
+from .suite import SUITE, SuiteEntry, load_suite_graph, small_suite, suite_names
+
+__all__ = [
+    "SUITE",
+    "SuiteEntry",
+    "suite_names",
+    "load_suite_graph",
+    "small_suite",
+    "timed",
+    "SolverRun",
+    "run_gpu",
+    "run_sequential",
+    "Table1Row",
+    "table1_rows",
+    "ThresholdCell",
+    "threshold_grid",
+    "StageRow",
+    "stage_breakdown",
+    "banner",
+    "format_table",
+    "format_series",
+    "geometric_mean",
+]

@@ -1,0 +1,66 @@
+"""Plain-text tables and series matching the paper's figures.
+
+Benchmarks print through these helpers so every experiment's output has
+the same shape: a titled monospace table plus, where the paper uses a
+figure, the series values that would be plotted.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "geometric_mean", "banner"]
+
+
+def banner(title: str) -> str:
+    """Section banner used at the top of each experiment's output."""
+    line = "=" * max(len(title), 8)
+    return f"{line}\n{title}\n{line}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    floatfmt: str = ".3f",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(format(value, floatfmt))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [len(h) for h in headers]
+    for cells in rendered:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for cells in rendered:
+        lines.append("  ".join(cells[i].rjust(widths[i]) for i in range(len(cells))))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[float], *, floatfmt: str = ".4f"
+) -> str:
+    """Render one figure series as ``name: x=y`` pairs, one per line."""
+    lines = [f"series {name}:"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x} = {format(float(y), floatfmt)}")
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (0 for empty input; requires positives)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return float(math.exp(sum(math.log(v) for v in vals) / len(vals)))

@@ -1,0 +1,222 @@
+"""The Table-1 analog suite.
+
+Every one of the paper's 55 benchmark graphs has an entry here carrying
+(a) the paper's reference numbers (vertices, edges, sequential seconds,
+GPU seconds) and (b) a scaled-down synthetic analog from the generator
+family that matches its class (DESIGN.md §2 documents the mapping).
+
+Sizes: each analog targets ``paper_edges / 1000`` undirected edges,
+clamped to ``[1e4, 1e5]``, so the full suite solves in minutes on a
+laptop; pass ``scale != 1`` to :meth:`SuiteEntry.load` to grow or shrink
+everything proportionally.  Seeds derive deterministically from the graph
+name, so the suite is fully reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..graph import generators as gen
+from ..graph.csr import CSRGraph
+
+__all__ = ["SuiteEntry", "SUITE", "suite_names", "load_suite_graph", "small_suite"]
+
+
+def _seed(name: str) -> int:
+    return int.from_bytes(hashlib.sha256(name.encode()).digest()[:4], "little")
+
+
+def _edges_target(paper_edges: int, scale: float) -> int:
+    return int(np.clip(paper_edges / 1000, 10_000, 100_000) * scale)
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One Table-1 row and its synthetic analog."""
+
+    name: str
+    family: str
+    paper_vertices: int
+    paper_edges: int
+    paper_seq_seconds: float
+    paper_gpu_seconds: float
+
+    @property
+    def paper_avg_degree(self) -> float:
+        """2E/V of the paper's graph."""
+        return 2.0 * self.paper_edges / self.paper_vertices
+
+    def load(self, scale: float = 1.0) -> CSRGraph:
+        """Build the analog graph at the given size multiplier."""
+        return _build(self, scale)
+
+    @property
+    def paper_speedup(self) -> float:
+        """The paper's sequential/GPU runtime ratio for this graph."""
+        return self.paper_seq_seconds / self.paper_gpu_seconds
+
+
+def _build(entry: SuiteEntry, scale: float) -> CSRGraph:
+    rng = np.random.default_rng(_seed(entry.name))
+    target = _edges_target(entry.paper_edges, scale)
+    avg = entry.paper_avg_degree
+    family = entry.family
+
+    if family == "collaboration":
+        group_size = int(np.clip(2.0 * np.sqrt(avg), 6, 26))
+        edges_per_group = group_size * (group_size - 1) / 2
+        groups = max(64, int(target / edges_per_group * 2))  # ~50% overlap
+        return gen.clique_overlap(groups, rng, mean_group_size=group_size)
+    if family == "social":
+        m = int(np.clip(round(avg / 2), 2, 24))
+        n = max(m + 2, target // m)
+        return gen.social_network(n, m, rng)
+    if family == "web":
+        # Web graphs pair extreme degree skew with very strong host-level
+        # clustering (Louvain finds Q ~ 0.9+ on uk-2002/cnr-2000), so the
+        # analog is preferential attachment inside power-law host
+        # communities with low mixing.  (Plain R-MAT matches the skew but
+        # has essentially no community structure, Q ~ 0.1.)
+        m = int(np.clip(round(avg / 2), 4, 16))
+        n = max(m + 2, target // m)
+        return gen.social_network(
+            n, m, rng, mixing=0.08, community_exponent=1.3, min_community=32
+        )
+    if family == "fem":
+        # radius-2 stencils (interior degree 124) match the densest FEM
+        # rows, but only when the cube is big enough that the interior
+        # dominates; small targets fall back to the 27-point stencil.
+        radius = 2 if avg >= 50 and target >= 45_000 else 1
+        per_vertex = 62 if radius == 2 else 13
+        n = max(64, target // per_vertex)
+        side = max(5, round(n ** (1 / 3)))
+        return gen.stencil3d_radius(side, side, side, radius=radius)
+    if family == "kkt":
+        n_block = max(64, target // 30)
+        side = max(4, round(n_block ** (1 / 3)))
+        return gen.kkt_like(side, side, side, rng)
+    if family == "lattice":
+        n = max(64, target // 3)
+        side = max(4, round(n ** (1 / 3)))
+        return gen.lattice3d(side, side, side)
+    if family == "rgg":
+        n = max(256, int(target / (avg / 2)))
+        radius = float(np.sqrt(avg / (np.pi * n)))
+        return gen.random_geometric(n, radius, rng)
+    if family == "delaunay":
+        n = max(256, target // 3)
+        return gen.delaunay_graph(n, rng)
+    if family == "mesh2d":
+        n = max(256, target // 3)
+        return gen.delaunay_graph(n, rng)
+    if family == "road":
+        n = max(256, int(target / 1.6))
+        side = max(8, int(np.sqrt(n)))
+        return gen.road_grid(side, side, rng, drop_fraction=0.12)
+    if family == "osm":
+        n = max(256, int(target / 1.05))
+        side = max(8, int(np.sqrt(n)))
+        return gen.road_grid(
+            side, side, rng, drop_fraction=0.42, diagonal_fraction=0.0
+        )
+    raise ValueError(f"unknown family {family!r}")
+
+
+def _entry(
+    name: str, family: str, v: int, e: int, seq: float, gpu: float
+) -> SuiteEntry:
+    return SuiteEntry(
+        name=name,
+        family=family,
+        paper_vertices=v,
+        paper_edges=e,
+        paper_seq_seconds=seq,
+        paper_gpu_seconds=gpu,
+    )
+
+
+#: All 55 graphs of Table 1, in the paper's order (decreasing avg degree).
+SUITE: tuple[SuiteEntry, ...] = (
+    _entry("out.actor-collaboration", "collaboration", 382_220, 33_115_812, 6.81, 2.53),
+    _entry("hollywood-2009", "collaboration", 1_139_905, 56_375_711, 17.49, 4.69),
+    _entry("audikw_1", "fem", 943_695, 38_354_076, 42.42, 1.90),
+    _entry("dielFilterV3real", "fem", 1_102_824, 44_101_598, 21.99, 1.54),
+    _entry("F1", "fem", 343_791, 13_246_661, 9.81, 0.75),
+    _entry("com-orkut", "social", 3_072_627, 117_185_083, 197.98, 16.83),
+    _entry("Flan_1565", "fem", 1_564_794, 57_920_625, 115.55, 3.39),
+    _entry("inline_1", "fem", 503_712, 18_156_315, 9.07, 1.29),
+    _entry("bone010", "fem", 986_703, 35_339_811, 58.14, 0.94),
+    _entry("boneS10", "fem", 914_898, 27_276_762, 24.48, 0.97),
+    _entry("Long_Coup_dt6", "fem", 1_470_152, 42_809_420, 41.51, 1.40),
+    _entry("Cube_Coup_dt0", "fem", 2_164_760, 62_520_692, 68.84, 2.70),
+    _entry("Cube_Coup_dt6", "fem", 2_164_760, 62_520_692, 67.35, 2.69),
+    _entry("coPapersDBLP", "collaboration", 540_486, 15_245_729, 3.33, 0.73),
+    _entry("Serena", "fem", 1_391_349, 31_570_176, 38.15, 0.76),
+    _entry("Emilia_923", "fem", 923_136, 20_041_035, 22.39, 0.57),
+    _entry("Si87H76", "fem", 240_369, 5_210_631, 2.60, 0.77),
+    _entry("Geo_1438", "fem", 1_437_960, 30_859_365, 40.94, 1.09),
+    _entry("dielFilterV2real", "fem", 1_157_456, 23_690_748, 39.60, 0.62),
+    _entry("Hook_1498", "fem", 1_498_023, 29_709_711, 36.49, 0.71),
+    _entry("soc-pokec-relationships", "social", 1_632_803, 30_622_562, 36.61, 4.52),
+    _entry("gsm_106857", "fem", 589_446, 10_584_739, 8.48, 0.34),
+    _entry("uk-2002", "web", 18_520_486, 292_243_663, 385.34, 8.21),
+    _entry("soc-LiveJournal1", "social", 4_847_571, 68_475_391, 117.61, 8.15),
+    _entry("nlpkkt200", "kkt", 16_240_000, 215_992_816, 327.42, 26.11),
+    _entry("nlpkkt160", "kkt", 8_345_600, 110_586_256, 168.56, 11.54),
+    _entry("nlpkkt120", "kkt", 3_542_400, 46_651_696, 78.08, 3.97),
+    _entry("bone010_M", "fem", 986_703, 11_451_036, 63.50, 0.52),
+    _entry("cnr-2000", "web", 325_557, 3_128_710, 2.27, 0.26),
+    _entry("boneS10_M", "fem", 914_898, 8_787_288, 27.42, 0.52),
+    _entry("out.flickr-links", "social", 1_715_256, 15_551_249, 9.25, 2.64),
+    _entry("channel-500x100x100-b050", "lattice", 4_802_000, 42_681_372, 934.17, 6.67),
+    _entry("com-lj", "social", 4_036_538, 34_681_189, 78.09, 5.25),
+    _entry("packing-500x100x100-b050", "lattice", 2_145_852, 17_488_243, 360.42, 1.19),
+    _entry("rgg_n_2_24_s0", "rgg", 16_777_216, 132_557_200, 132.87, 4.95),
+    _entry("offshore", "fem", 259_789, 1_991_442, 13.14, 0.15),
+    _entry("rgg_n_2_23_s0", "rgg", 8_388_608, 63_501_393, 60.44, 2.42),
+    _entry("rgg_n_2_22_s0", "rgg", 4_194_304, 30_359_198, 30.48, 1.20),
+    _entry("StocF-1465", "fem", 1_465_137, 9_770_126, 177.86, 0.57),
+    _entry("out.flixster", "social", 2_523_387, 7_918_801, 16.90, 2.11),
+    _entry("delaunay_n24", "delaunay", 16_777_216, 50_331_601, 95.60, 1.60),
+    _entry("out.youtube-u-growth", "social", 3_223_585, 9_375_369, 18.46, 2.62),
+    _entry("com-youtube", "social", 1_157_828, 2_987_624, 4.58, 1.00),
+    _entry("com-dblp", "collaboration", 425_957, 1_049_866, 2.40, 0.22),
+    _entry("com-amazon", "social", 548_552, 925_872, 2.53, 0.26),
+    _entry("hugetrace-00020", "mesh2d", 16_002_413, 23_998_813, 101.84, 1.43),
+    _entry("hugebubbles-00020", "mesh2d", 21_198_119, 31_790_179, 126.79, 2.01),
+    _entry("hugebubbles-00010", "mesh2d", 19_458_087, 29_179_764, 116.90, 1.87),
+    _entry("hugebubbles-00000", "mesh2d", 18_318_143, 27_470_081, 115.88, 1.60),
+    _entry("road_usa", "road", 23_947_347, 28_854_312, 132.38, 1.93),
+    _entry("germany_osm", "osm", 11_548_845, 12_369_181, 42.48, 1.64),
+    _entry("asia_osm", "osm", 11_950_757, 12_711_603, 42.86, 7.22),
+    _entry("europe_osm", "osm", 50_912_018, 54_054_660, 197.07, 22.21),
+    _entry("italy_osm", "osm", 6_686_493, 7_013_978, 24.33, 4.82),
+    _entry("out.livejournal-links", "social", 5_204_175, 2_516_088, 25.33, 1.39),
+)
+
+_BY_NAME = {entry.name: entry for entry in SUITE}
+
+
+def suite_names() -> list[str]:
+    """Names of all suite graphs, Table-1 order."""
+    return [entry.name for entry in SUITE]
+
+
+@lru_cache(maxsize=128)
+def load_suite_graph(name: str, scale: float = 1.0) -> CSRGraph:
+    """Build (and cache) the analog graph for a Table-1 name."""
+    if name not in _BY_NAME:
+        raise KeyError(f"unknown suite graph {name!r}; see suite_names()")
+    return _BY_NAME[name].load(scale)
+
+
+def small_suite() -> list[SuiteEntry]:
+    """A 10-entry cross-section (one per family) for quicker experiments."""
+    picked: dict[str, SuiteEntry] = {}
+    for entry in SUITE:
+        picked.setdefault(entry.family, entry)
+    return list(picked.values())

@@ -1,0 +1,274 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``      print a graph file's structural statistics
+``detect``    run community detection and write/print the membership
+``generate``  synthesise a graph from one of the generator families
+``suite``     list or materialise the Table-1 analog benchmark suite
+
+Examples::
+
+    python -m repro generate social -n 5000 -m 8 -o social.txt
+    python -m repro info social.txt
+    python -m repro detect social.txt --solver gpu -o communities.txt
+    python -m repro suite --name road_usa -o road.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Community Detection on the GPU (IPDPS 2017) — reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="print graph statistics")
+    info.add_argument("path", help="edge list / METIS / MatrixMarket file")
+
+    detect = sub.add_parser("detect", help="detect communities")
+    detect.add_argument("path", help="input graph file")
+    detect.add_argument(
+        "--solver",
+        choices=["gpu", "seq", "plm", "lu", "coarse", "sort", "multigpu"],
+        default="gpu",
+        help="algorithm to run (default: the paper's GPU algorithm)",
+    )
+    detect.add_argument(
+        "--engine",
+        choices=["vectorized", "simulated"],
+        default="vectorized",
+        help="gpu solver execution engine",
+    )
+    detect.add_argument("--threshold-bin", type=float, default=1e-2)
+    detect.add_argument("--threshold-final", type=float, default=1e-6)
+    detect.add_argument("--bin-vertex-limit", type=int, default=100_000)
+    detect.add_argument("--resolution", type=float, default=1.0,
+                        help="gamma of the generalised modularity (gpu solver)")
+    detect.add_argument("--warm-start", metavar="FILE",
+                        help="previous 'vertex community' file to warm-start "
+                             "from (gpu solver)")
+    detect.add_argument("--devices", type=int, default=4,
+                        help="device count for --solver multigpu")
+    detect.add_argument("-o", "--output", help="write 'vertex community' lines here")
+    detect.add_argument("--levels", action="store_true",
+                        help="also print the per-level hierarchy summary")
+
+    generate = sub.add_parser("generate", help="synthesise a graph")
+    generate.add_argument(
+        "family",
+        choices=[
+            "social", "rmat", "ba", "lfr", "caveman", "road", "rgg",
+            "delaunay", "stencil", "kkt", "karate",
+        ],
+    )
+    generate.add_argument("-n", type=int, default=1000, help="vertex count / side")
+    generate.add_argument("-m", type=int, default=8, help="edges per vertex (social/ba)")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("-o", "--output", required=True)
+
+    suite = sub.add_parser("suite", help="the Table-1 analog suite")
+    group = suite.add_mutually_exclusive_group(required=True)
+    group.add_argument("--list", action="store_true", help="list all 55 entries")
+    group.add_argument("--name", help="materialise one entry's analog graph")
+    suite.add_argument("--scale", type=float, default=1.0)
+    suite.add_argument("-o", "--output", help="output path (with --name)")
+
+    return parser
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .graph.io import load_graph
+
+    graph = load_graph(args.path)
+    degrees = graph.degrees
+    print(f"vertices:        {graph.num_vertices}")
+    print(f"edges:           {graph.num_edges}")
+    print(f"total weight 2m: {graph.total_weight:g}")
+    if degrees.size:
+        print(f"degrees:         min {degrees.min()}  "
+              f"median {int(np.median(degrees))}  max {degrees.max()}")
+        print(f"avg degree:      {2 * graph.num_edges / graph.num_vertices:.2f}")
+    loops = graph.self_loop_weights()
+    print(f"self loops:      {int(np.count_nonzero(loops))}")
+    return 0
+
+
+def _read_membership(path: str, num_vertices: int) -> np.ndarray:
+    """Read a 'vertex community' file (the detect -o format)."""
+    membership = np.arange(num_vertices, dtype=np.int64)
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            vertex, community = line.split()[:2]
+            v = int(vertex)
+            if 0 <= v < num_vertices:
+                membership[v] = int(community)
+    return membership
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from .graph.io import load_graph
+
+    graph = load_graph(args.path)
+    start = time.perf_counter()
+    if args.solver == "gpu":
+        from .core.gpu_louvain import gpu_louvain
+
+        initial = None
+        if args.warm_start:
+            initial = _read_membership(args.warm_start, graph.num_vertices)
+        result = gpu_louvain(
+            graph,
+            engine=args.engine,
+            threshold_bin=args.threshold_bin,
+            threshold_final=args.threshold_final,
+            bin_vertex_limit=args.bin_vertex_limit,
+            resolution=args.resolution,
+            initial_communities=initial,
+        )
+    elif args.solver == "seq":
+        from .seq.louvain import louvain
+
+        result = louvain(graph, threshold=args.threshold_final)
+    elif args.solver == "plm":
+        from .parallel.plm import plm_louvain
+
+        result = plm_louvain(graph, threshold=args.threshold_final)
+    elif args.solver == "lu":
+        from .parallel.lu_openmp import lu_louvain
+
+        result = lu_louvain(
+            graph,
+            threshold_bin=args.threshold_bin,
+            threshold_final=args.threshold_final,
+            bin_vertex_limit=args.bin_vertex_limit,
+        )
+    elif args.solver == "coarse":
+        from .parallel.coarse import coarse_louvain
+
+        result = coarse_louvain(graph, threshold=args.threshold_final)
+    elif args.solver == "sort":
+        from .parallel.sortbased import sort_based_louvain
+
+        result = sort_based_louvain(graph, threshold=args.threshold_final)
+    else:  # multigpu
+        from .parallel.multigpu import multigpu_louvain
+
+        result = multigpu_louvain(
+            graph,
+            num_devices=args.devices,
+            threshold_bin=args.threshold_bin,
+            threshold_final=args.threshold_final,
+            bin_vertex_limit=args.bin_vertex_limit,
+        )
+    seconds = time.perf_counter() - start
+
+    print(f"solver:      {args.solver}")
+    print(f"modularity:  {result.modularity:.6f}")
+    print(f"communities: {result.num_communities}")
+    print(f"levels:      {result.num_levels}")
+    print(f"seconds:     {seconds:.3f}")
+    if args.levels:
+        for k, ((n, e), q) in enumerate(
+            zip(result.level_sizes, result.modularity_per_level)
+        ):
+            print(f"  level {k}: n={n} E={e} Q={q:.4f}")
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write("# vertex community\n")
+            for v, c in enumerate(result.membership):
+                handle.write(f"{v} {c}\n")
+        print(f"membership written to {args.output}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .graph import generators as gen
+    from .graph.io import write_edge_list
+
+    n, m, seed = args.n, args.m, args.seed
+    if args.family == "social":
+        graph = gen.social_network(n, m, rng=seed)
+    elif args.family == "rmat":
+        scale = max(4, int(np.ceil(np.log2(max(n, 16)))))
+        graph = gen.rmat(scale, m, rng=seed)
+    elif args.family == "ba":
+        graph = gen.barabasi_albert(n, m, rng=seed)
+    elif args.family == "lfr":
+        graph, _ = gen.lfr_like(n, rng=seed, avg_degree=max(m, 4))
+    elif args.family == "caveman":
+        graph, _ = gen.caveman(max(n // max(m, 2), 2), max(m, 2))
+    elif args.family == "road":
+        side = max(4, int(np.sqrt(n)))
+        graph = gen.road_grid(side, side, rng=seed)
+    elif args.family == "rgg":
+        radius = float(np.sqrt(max(m, 4) / (np.pi * n)))
+        graph = gen.random_geometric(n, radius, rng=seed)
+    elif args.family == "delaunay":
+        graph = gen.delaunay_graph(n, rng=seed)
+    elif args.family == "stencil":
+        side = max(3, round(n ** (1 / 3)))
+        graph = gen.stencil3d(side, side, side)
+    elif args.family == "kkt":
+        side = max(3, round((n // 2) ** (1 / 3)))
+        graph = gen.kkt_like(side, side, side, rng=seed)
+    else:  # karate
+        graph = gen.karate_club()
+    write_edge_list(graph, args.output)
+    print(f"{args.family}: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges -> {args.output}")
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from .bench.suite import SUITE, load_suite_graph
+    from .graph.io import write_edge_list
+
+    if args.list:
+        print(f"{'name':28s} {'family':13s} {'paper V':>12s} {'paper E':>13s} "
+              f"{'seq s':>8s} {'gpu s':>7s}")
+        for entry in SUITE:
+            print(f"{entry.name:28s} {entry.family:13s} "
+                  f"{entry.paper_vertices:12,d} {entry.paper_edges:13,d} "
+                  f"{entry.paper_seq_seconds:8.2f} {entry.paper_gpu_seconds:7.2f}")
+        return 0
+    graph = load_suite_graph(args.name, args.scale)
+    print(f"{args.name}: analog with {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges")
+    if args.output:
+        write_edge_list(graph, args.output)
+        print(f"written to {args.output}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info(args)
+    if args.command == "detect":
+        return _cmd_detect(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "suite":
+        return _cmd_suite(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""The paper's contribution: degree-bucketed, edge-parallel GPU Louvain."""
+
+from .aggregate import AggregationOutcome, aggregate_gpu
+from .buckets import Bucket, bucket_index, community_buckets, degree_buckets
+from .compute_move import compute_moves_simulated, compute_moves_vectorized
+from .config import COMMUNITY_BUCKETS, DEGREE_BUCKETS, GROUP_SIZES, GPULouvainConfig
+from .gpu_louvain import GPULouvainResult, gpu_louvain
+from .hierarchy import Dendrogram, best_level, cut_at_level
+from .mod_opt import OptimizationOutcome, modularity_optimization
+
+__all__ = [
+    "gpu_louvain",
+    "GPULouvainResult",
+    "GPULouvainConfig",
+    "DEGREE_BUCKETS",
+    "GROUP_SIZES",
+    "COMMUNITY_BUCKETS",
+    "modularity_optimization",
+    "OptimizationOutcome",
+    "aggregate_gpu",
+    "AggregationOutcome",
+    "compute_moves_vectorized",
+    "compute_moves_simulated",
+    "Bucket",
+    "bucket_index",
+    "degree_buckets",
+    "community_buckets",
+    "Dendrogram",
+    "cut_at_level",
+    "best_level",
+]

@@ -1,0 +1,300 @@
+"""Aggregation phase (Algorithm 3): contract communities into vertices.
+
+The four tasks of the paper, each visible in the code below:
+
+(i)   community sizes (``comSize``) and degree sums (``comDegree``) via
+      atomic adds — vectorized as ``bincount``, replayed with
+      :class:`~repro.gpu.atomics.AtomicArray` in the simulated engine;
+(ii)  consecutive renumbering of the non-empty communities (``newID``) by
+      a parallel prefix sum over 0/1 flags;
+(iii) edge-list layout via prefix sums over the degree-sum upper bound
+      (``edgePos``) and the community sizes (``vertexStart``), followed by
+      ordering vertices by community (``com``);
+(iv)  ``mergeCommunity``: per community, hash all member edges to obtain
+      the merged neighbour list, processed in three work buckets (warp /
+      shared block / global block) by summed member degree.
+
+Both engines produce the identical contracted graph; the simulated engine
+additionally returns kernel statistics for the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.build import from_directed_entries
+from ..graph.csr import CSRGraph
+from ..gpu.atomics import AtomicArray
+from ..gpu.costmodel import CostModel, WorkItem, warp_schedule
+from ..gpu.hashtable import CommunityHashTable
+from ..gpu.profiler import KernelStats, PhaseProfile
+from ..gpu.thrust import exclusive_scan, gather_rows
+from .buckets import community_buckets
+from .config import GPULouvainConfig
+
+__all__ = ["AggregationOutcome", "aggregate_gpu"]
+
+
+@dataclass
+class AggregationOutcome:
+    """Result of one aggregation phase."""
+
+    graph: CSRGraph
+    dense_map: np.ndarray  # old vertex -> new vertex id
+    profile: PhaseProfile = field(default_factory=PhaseProfile)
+
+
+def _layout(
+    graph: CSRGraph, comm: np.ndarray, *, atomic: bool, profile: PhaseProfile
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Tasks (i)-(iii): sizes, degree sums, newID, vertex ordering.
+
+    Returns ``(com_size, com_degree, new_id, dense, com)`` where ``com``
+    lists vertices grouped by community in ``vertexStart`` order.
+    """
+    n = graph.num_vertices
+    degrees = graph.degrees
+    if atomic:
+        com_size_arr = AtomicArray(np.zeros(n, dtype=np.int64))
+        com_degree_arr = AtomicArray(np.zeros(n, dtype=np.int64))
+        com_size_arr.batch_add(comm, np.ones(n, dtype=np.int64))
+        com_degree_arr.batch_add(comm, degrees)
+        com_size = com_size_arr.values
+        com_degree = com_degree_arr.values
+        stats = KernelStats(name="contract[sizes]")
+        stats.hash_stats.probes = 0
+        stats.num_vertices = n
+        profile.add(stats)
+    else:
+        com_size = np.bincount(comm, minlength=n)
+        com_degree = np.bincount(comm, weights=degrees, minlength=n).astype(np.int64)
+
+    flags = (com_size > 0).astype(np.int64)
+    new_id = exclusive_scan(flags)[:-1]  # newID[c] for non-empty c
+    dense = new_id[comm]
+
+    vertex_start = exclusive_scan(com_size)[:-1]
+    # Alg. 3 lines 17-19 place vertices via fetch-and-add, which yields an
+    # arbitrary order inside each community; we use a stable sort so both
+    # engines are deterministic and identical.
+    com = np.argsort(comm, kind="stable").astype(np.int64)
+    return com_size, com_degree, new_id, dense, com
+
+
+def aggregate_gpu(
+    graph: CSRGraph,
+    comm: np.ndarray,
+    config: GPULouvainConfig,
+    *,
+    cost_model: CostModel | None = None,
+) -> AggregationOutcome:
+    """Contract ``graph`` by the partition ``comm`` (Alg. 3).
+
+    Returns the contracted graph plus the old-vertex -> new-vertex map.
+    """
+    comm = np.asarray(comm, dtype=np.int64)
+    if comm.shape != (graph.num_vertices,):
+        raise ValueError("comm must assign one community per vertex")
+    profile = PhaseProfile()
+    simulate = config.engine == "simulated"
+    if simulate and cost_model is None:
+        cost_model = CostModel(config.device, config.cost_parameters)
+
+    n = graph.num_vertices
+    if n == 0:
+        return AggregationOutcome(graph, np.empty(0, dtype=np.int64), profile)
+
+    com_size, com_degree, new_id, dense, com = _layout(
+        graph, comm, atomic=simulate, profile=profile
+    )
+    present = np.flatnonzero(com_size > 0)
+    num_new = int(present.size)
+    vertex_start = exclusive_scan(com_size)[:-1]
+
+    buckets = community_buckets(present, com_degree, config.community_bucket_bounds)
+
+    new_u_parts: list[np.ndarray] = []
+    new_v_parts: list[np.ndarray] = []
+    new_w_parts: list[np.ndarray] = []
+
+    for bucket in buckets:
+        cids = bucket.members
+        if cids.size == 0:
+            continue
+        if simulate:
+            stats = _merge_bucket_simulated(
+                graph,
+                dense,
+                new_id,
+                cids,
+                com,
+                vertex_start,
+                com_size,
+                com_degree,
+                bucket.index,
+                cost_model,
+                new_u_parts,
+                new_v_parts,
+                new_w_parts,
+            )
+            profile.add(stats)
+        else:
+            _merge_bucket_vectorized(
+                graph,
+                dense,
+                new_id,
+                cids,
+                com,
+                vertex_start,
+                com_size,
+                new_u_parts,
+                new_v_parts,
+                new_w_parts,
+            )
+
+    if new_u_parts:
+        new_u = np.concatenate(new_u_parts)
+        new_v = np.concatenate(new_v_parts)
+        new_w = np.concatenate(new_w_parts)
+    else:
+        new_u = np.empty(0, dtype=np.int64)
+        new_v = np.empty(0, dtype=np.int64)
+        new_w = np.empty(0, dtype=np.float64)
+    contracted = from_directed_entries(new_u, new_v, new_w, num_new)
+    return AggregationOutcome(contracted, dense, profile)
+
+
+def _members_of(
+    cids: np.ndarray,
+    com: np.ndarray,
+    vertex_start: np.ndarray,
+    com_size: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Member vertices of each community in ``cids`` (flattened).
+
+    Returns ``(members, owner_local)`` where ``owner_local`` maps each
+    member to its community's position in ``cids``.
+    """
+    counts = com_size[cids]
+    total = int(counts.sum())
+    owner_local = np.repeat(np.arange(cids.size, dtype=np.int64), counts)
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    within = np.arange(total, dtype=np.int64) - offsets
+    members = com[np.repeat(vertex_start[cids], counts) + within]
+    return members, owner_local
+
+
+def _merge_bucket_vectorized(
+    graph: CSRGraph,
+    dense: np.ndarray,
+    new_id: np.ndarray,
+    cids: np.ndarray,
+    com: np.ndarray,
+    vertex_start: np.ndarray,
+    com_size: np.ndarray,
+    out_u: list[np.ndarray],
+    out_v: list[np.ndarray],
+    out_w: list[np.ndarray],
+) -> None:
+    """mergeCommunity for one work bucket, as sort + segmented reduction."""
+    members, owner_local = _members_of(cids, com, vertex_start, com_size)
+    edge_pos, member_local = gather_rows(graph.indptr, members)
+    if edge_pos.size == 0:
+        return
+    src_new = new_id[cids][owner_local[member_local]]
+    dst_new = dense[graph.indices[edge_pos]]
+    w = graph.weights[edge_pos]
+    num_new = int(dense.max()) + 1 if dense.size else 1
+    order = np.argsort(src_new * np.int64(num_new) + dst_new, kind="stable")
+    src_new = src_new[order]
+    dst_new = dst_new[order]
+    w = w[order]
+    boundary = np.flatnonzero(
+        np.concatenate(
+            ([True], (src_new[1:] != src_new[:-1]) | (dst_new[1:] != dst_new[:-1]))
+        )
+    )
+    out_u.append(src_new[boundary])
+    out_v.append(dst_new[boundary])
+    out_w.append(np.add.reduceat(w, boundary))
+
+
+def _merge_bucket_simulated(
+    graph: CSRGraph,
+    dense: np.ndarray,
+    new_id: np.ndarray,
+    cids: np.ndarray,
+    com: np.ndarray,
+    vertex_start: np.ndarray,
+    com_size: np.ndarray,
+    com_degree: np.ndarray,
+    bucket_index: int,
+    cost_model: CostModel,
+    out_u: list[np.ndarray],
+    out_v: list[np.ndarray],
+    out_w: list[np.ndarray],
+) -> KernelStats:
+    """mergeCommunity replayed with real hash tables, one community at a time.
+
+    Work-bucket placement (Section 4.1): bucket 0 -> one warp per
+    community, shared-memory table; bucket 1 -> one block, shared table;
+    bucket 2 -> one block, global-memory table.
+    """
+    device = cost_model.device
+    stats = KernelStats(name=f"mergeCommunity[bucket {bucket_index}]")
+    shared = bucket_index < 2
+    group = device.warp_size if bucket_index == 0 else device.threads_per_block
+    community_cycles = np.zeros(cids.size, dtype=np.float64)
+
+    for idx, c in enumerate(cids.tolist()):
+        start = int(vertex_start[c])
+        size = int(com_size[c])
+        members = com[start : start + size]
+        table = CommunityHashTable(max(int(com_degree[c]), 1))
+        new_src = int(new_id[c])
+        edges = 0
+        for v in members.tolist():
+            for nb, wt in zip(
+                graph.neighbors(v).tolist(), graph.neighbor_weights(v).tolist()
+            ):
+                table.add(int(dense[nb]), float(wt))
+                edges += 1
+        entries = sorted(table.items())
+        if entries:
+            out_u.append(np.array([new_src] * len(entries), dtype=np.int64))
+            out_v.append(np.array([e[0] for e in entries], dtype=np.int64))
+            out_w.append(np.array([e[1] for e in entries], dtype=np.float64))
+        # Alg. 3 allocates each community's new edge list at the sum of
+        # member degrees (upper bound); the merged list is usually smaller.
+        stats.allocated_edge_slots += int(com_degree[c])
+        stats.used_edge_slots += len(entries)
+        work = WorkItem(
+            edges=edges,
+            probes=table.stats.probes,
+            atomics=table.stats.inserts
+            + table.stats.accumulates
+            + table.stats.cas_attempts,
+        )
+        community_cycles[idx] = cost_model.vertex_cycles(work, group, shared=shared)
+        stats.active_thread_cycles += cost_model.active_cycles(work, shared=shared)
+        stats.hash_stats.merge(table.stats)
+        table_bytes = table.size * 12
+        if shared:
+            stats.shared_bytes += table_bytes
+        else:
+            stats.global_bytes += table_bytes
+        stats.num_edges += edges
+
+    if group <= device.warp_size:
+        warp_cycles, num_warps = warp_schedule(community_cycles, 1)
+    else:
+        warps_per_block = group // device.warp_size
+        warp_cycles = float(community_cycles.sum()) * warps_per_block
+        num_warps = cids.size * warps_per_block
+    stats.warp_cycles += warp_cycles
+    stats.issued_thread_cycles += warp_cycles * device.warp_size
+    stats.num_warps += num_warps
+    stats.num_vertices += int(cids.size)
+    return stats

@@ -1,0 +1,119 @@
+"""Degree and community bucketing (Section 4 / 4.1).
+
+The load-balancing heart of the paper: vertices are partitioned by degree
+into seven buckets processed one after another, each with a different
+number of threads per vertex; the aggregation phase partitions communities
+by their summed member degree into three buckets.
+
+Extraction uses the stable :func:`repro.gpu.thrust.partition` primitive,
+matching the CUDA code's use of ``thrust::partition`` (line 5 of Alg. 1 and
+line 21 of Alg. 3), so bucket-internal vertex order is the original index
+order — which the tie-break tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpu.thrust import partition
+
+__all__ = ["Bucket", "bucket_index", "degree_buckets", "community_buckets"]
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One bucket: its index, degree range, members, and group size."""
+
+    index: int
+    lower: int  # exclusive
+    upper: int  # inclusive; -1 means unbounded
+    members: np.ndarray
+    group_size: int
+
+    @property
+    def size(self) -> int:
+        """Number of members."""
+        return int(self.members.size)
+
+
+def bucket_index(values: np.ndarray, bounds: tuple[int, ...]) -> np.ndarray:
+    """Bucket index (0-based) of every value under inclusive upper bounds.
+
+    ``bounds = (4, 8)`` maps values ``<=4`` to 0, ``<=8`` to 1, rest to 2.
+    """
+    values = np.asarray(values)
+    return np.searchsorted(np.asarray(bounds), values, side="left").astype(np.int64)
+
+
+def _extract(
+    items: np.ndarray,
+    keys: np.ndarray,
+    bounds: tuple[int, ...],
+    group_sizes: tuple[int, ...],
+) -> list[Bucket]:
+    buckets: list[Bucket] = []
+    remaining = np.asarray(items, dtype=np.int64)
+    lower = 0
+    num_buckets = len(bounds) + 1
+    for b in range(num_buckets):
+        upper = int(bounds[b]) if b < len(bounds) else -1
+        if upper >= 0:
+            pred = keys[remaining] <= upper
+        else:
+            pred = np.ones(remaining.size, dtype=bool)
+        reordered, count = partition(remaining, pred)
+        buckets.append(
+            Bucket(
+                index=b,
+                lower=lower,
+                upper=upper,
+                members=reordered[:count],
+                group_size=group_sizes[b] if group_sizes else 0,
+            )
+        )
+        remaining = reordered[count:]
+        if upper >= 0:
+            lower = upper
+    return buckets
+
+
+def degree_buckets(
+    degrees: np.ndarray,
+    bounds: tuple[int, ...],
+    group_sizes: tuple[int, ...],
+    *,
+    vertices: np.ndarray | None = None,
+) -> list[Bucket]:
+    """Partition vertices into degree buckets (Alg. 1 lines 4-5).
+
+    Vertices of degree 0 belong to no bucket (they have no edges to hash
+    and can never move).  ``vertices`` restricts/orders the candidate set
+    (default: all vertices).
+    """
+    degrees = np.asarray(degrees, dtype=np.int64)
+    if vertices is None:
+        vertices = np.arange(degrees.size, dtype=np.int64)
+    vertices = np.asarray(vertices, dtype=np.int64)
+    vertices = vertices[degrees[vertices] > 0]
+    return _extract(vertices, degrees, bounds, group_sizes)
+
+
+def community_buckets(
+    communities: np.ndarray,
+    community_degree: np.ndarray,
+    bounds: tuple[int, ...],
+) -> list[Bucket]:
+    """Partition communities by summed member degree (Alg. 3 lines 20-21).
+
+    ``communities`` lists the (non-empty) community ids to process;
+    ``community_degree`` is indexed by community id.
+    """
+    group_sizes = tuple(0 for _ in range(len(bounds) + 1))
+    return _extract(
+        np.asarray(communities, dtype=np.int64),
+        np.asarray(community_degree),
+        bounds,
+        group_sizes,
+    )

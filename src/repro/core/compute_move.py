@@ -1,0 +1,267 @@
+"""``computeMove`` (Algorithm 2): best-community selection per vertex.
+
+Two interchangeable engines implement identical *semantics*:
+
+* :func:`compute_moves_vectorized` — the NumPy data-parallel engine.  The
+  per-vertex hash accumulation of ``e_{i->c}`` is replaced by a sort +
+  segmented reduction over the bucket's edges, which computes exactly the
+  same sums; scoring, the strict positive-gain rule, lowest-id tie-breaks
+  and the singleton constraint follow the paper.
+* :func:`compute_moves_simulated` — a thread-level replay using the real
+  open-addressing hash tables of :mod:`repro.gpu.hashtable`, charging
+  probes/atomics/divergence to the cost model and returning
+  :class:`~repro.gpu.profiler.KernelStats`.
+
+Both return, for each requested vertex, the community it should join —
+``newComm`` of Alg. 1 line 7 — decided from the *current* snapshot (the
+per-bucket synchronous model of the paper).
+
+Scoring recap (Eq. 2, with the constant ``e_{i->C(i)\\{i}} / m`` term kept
+so the move test is the full positive-gain rule):
+
+* ``score(c) = e_{i->c} / m - k_i * a_c^{(-i)} / (2 m^2)`` where
+  ``a_c^{(-i)}`` excludes ``i``'s own degree when ``c == C(i)``;
+* move to ``argmax_c score(c)`` over neighbouring communities iff it
+  strictly beats ``score(C(i))``; ties break to the lowest community id.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..gpu.costmodel import CostModel, WorkItem, warp_schedule
+from ..gpu.hashtable import CommunityHashTable
+from ..gpu.profiler import KernelStats
+from ..gpu.thrust import gather_rows
+from .buckets import Bucket
+
+__all__ = ["compute_moves_vectorized", "compute_moves_simulated"]
+
+
+def compute_moves_vectorized(
+    graph: CSRGraph,
+    comm: np.ndarray,
+    volumes: np.ndarray,
+    comm_sizes: np.ndarray,
+    vertices: np.ndarray,
+    *,
+    k: np.ndarray | None = None,
+    singleton_constraint: bool = True,
+    resolution: float = 1.0,
+) -> np.ndarray:
+    """Vectorized Alg. 2 for a set of vertices; returns their new community.
+
+    Parameters
+    ----------
+    comm, volumes, comm_sizes:
+        Current community of every vertex, ``a_c`` per community label and
+        community sizes (labels index all three).
+    vertices:
+        The bucket's members (any subset of vertices).
+    k:
+        Weighted degrees (recomputed if omitted).
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    n = graph.num_vertices
+    if vertices.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if k is None:
+        k = graph.weighted_degrees
+    m = graph.m
+    own = comm[vertices]
+    new_comm = own.copy()
+    if m == 0.0:
+        return new_comm
+
+    edge_pos, owner_local = gather_rows(graph.indptr, vertices)
+    dst = graph.indices[edge_pos]
+    w = graph.weights[edge_pos]
+    not_loop = dst != vertices[owner_local]
+    owner_local = owner_local[not_loop]
+    dst_comm = comm[dst[not_loop]]
+    w = w[not_loop]
+    if owner_local.size == 0:
+        return new_comm
+
+    # Segmented "hash accumulate": e_{i->c} per (vertex, community) pair.
+    # A combined int64 key + stable argsort hits NumPy's radix path and is
+    # ~50x faster than np.lexsort on these sizes (profiled; see the
+    # optimization guide's "measure first" workflow).
+    order = np.argsort(owner_local * np.int64(n) + dst_comm, kind="stable")
+    owner_local = owner_local[order]
+    dst_comm = dst_comm[order]
+    w = w[order]
+    is_boundary = np.concatenate(
+        ([True], (owner_local[1:] != owner_local[:-1]) | (dst_comm[1:] != dst_comm[:-1]))
+    )
+    starts = np.flatnonzero(is_boundary)
+    pv = owner_local[starts]  # local vertex index per pair
+    pc = dst_comm[starts]  # community per pair
+    pe = np.add.reduceat(w, starts)  # e_{i->c} per pair
+
+    # Per-local-vertex quantities.
+    e_own = np.zeros(vertices.size, dtype=np.float64)
+    own_pair = pc == own[pv]
+    e_own[pv[own_pair]] = pe[own_pair]
+    kv = k[vertices]
+    a_own_excl = volumes[own] - kv
+
+    two_m_sq = 2.0 * m * m
+    # Gain of moving local vertex pv to pc (candidates only).
+    gain = (pe - e_own[pv]) / m + resolution * kv[pv] * (
+        a_own_excl[pv] - volumes[pc]
+    ) / two_m_sq
+    valid = ~own_pair
+    if singleton_constraint:
+        i_singleton = comm_sizes[own[pv]] == 1
+        target_singleton = comm_sizes[pc] == 1
+        blocked = i_singleton & target_singleton & (pc > own[pv])
+        valid &= ~blocked
+    gain = np.where(valid, gain, -np.inf)
+
+    # Per-vertex argmax with lowest-community-id tie-break.
+    group_start = np.flatnonzero(
+        np.concatenate(([True], pv[1:] != pv[:-1]))
+    )
+    group_vertex = pv[group_start]
+    max_gain = np.maximum.reduceat(gain, group_start)
+    max_gain_per_pair = np.repeat(max_gain, np.diff(np.append(group_start, pv.size)))
+    tie_candidate = np.where(gain == max_gain_per_pair, pc, n)
+    best_c = np.minimum.reduceat(tie_candidate, group_start)
+
+    moves = max_gain > 0.0
+    new_comm[group_vertex[moves]] = best_c[moves]
+    return new_comm
+
+
+def compute_moves_simulated(
+    graph: CSRGraph,
+    comm: np.ndarray,
+    volumes: np.ndarray,
+    comm_sizes: np.ndarray,
+    bucket: Bucket,
+    cost_model: CostModel,
+    *,
+    k: np.ndarray | None = None,
+    singleton_constraint: bool = True,
+    resolution: float = 1.0,
+) -> tuple[np.ndarray, KernelStats]:
+    """Thread-level Alg. 2 replay for one degree bucket.
+
+    Hashes every neighbour (self-loops into the own community, as the CUDA
+    kernel does), selects the best move with the same rules as the
+    vectorized engine, and charges the cost model for the group-size /
+    memory-space configuration of ``bucket``:
+
+    * buckets with ``group_size < warp`` pack ``warp/group`` vertices per
+      warp (divergence = max over the packed groups);
+    * the last bucket (and only it) keeps its hash table in global memory
+      and is charged global-latency probes/atomics — the shared/global
+      distinction of Section 4.1.
+    """
+    vertices = bucket.members
+    device = cost_model.device
+    stats = KernelStats(name=f"computeMove[bucket {bucket.index}]")
+    new_comm = comm[vertices].copy() if vertices.size else np.empty(0, dtype=np.int64)
+    if vertices.size == 0:
+        return new_comm, stats
+    if k is None:
+        k = graph.weighted_degrees
+    m = graph.m
+    shared = bucket.upper != -1  # unbounded (last) bucket -> global memory
+    group = max(1, bucket.group_size)
+
+    vertex_cycles = np.zeros(vertices.size, dtype=np.float64)
+    table_sizes = np.zeros(vertices.size, dtype=np.float64)
+    for idx, v in enumerate(vertices.tolist()):
+        own = int(comm[v])
+        neighbours = graph.neighbors(v)
+        wts = graph.neighbor_weights(v)
+        deg = int(neighbours.size)
+        table = CommunityHashTable(deg)
+        loop_weight = 0.0
+        for nb, wt in zip(neighbours.tolist(), wts.tolist()):
+            if nb == v:
+                table.add(own, wt)
+                loop_weight += wt
+            else:
+                table.add(int(comm[nb]), wt)
+
+        kv = float(k[v])
+        a_own_excl = float(volumes[own]) - kv
+        e_own = table.get(own) - loop_weight
+        two_m_sq = 2.0 * m * m
+        best_c = own
+        best_gain = 0.0
+        for c, e_vc in sorted(table.items()):
+            if c == own:
+                continue
+            if (
+                singleton_constraint
+                and comm_sizes[own] == 1
+                and comm_sizes[c] == 1
+                and c > own
+            ):
+                continue
+            # Same expression (and evaluation order) as the vectorized
+            # engine, so both compute bitwise-identical gains.
+            gain = (e_vc - e_own) / m + resolution * kv * (
+                a_own_excl - float(volumes[c])
+            ) / two_m_sq
+            if gain > best_gain:
+                best_gain = gain
+                best_c = c
+        new_comm[idx] = best_c
+
+        work = WorkItem(
+            edges=deg,
+            probes=table.stats.probes,
+            atomics=table.stats.inserts
+            + table.stats.accumulates
+            + table.stats.cas_attempts,
+        )
+        vertex_cycles[idx] = cost_model.vertex_cycles(work, group, shared=shared)
+        stats.active_thread_cycles += cost_model.active_cycles(work, shared=shared)
+        stats.hash_stats.merge(table.stats)
+        table_bytes = table.size * 12
+        if shared:
+            stats.shared_bytes += table_bytes
+        else:
+            table_sizes[idx] = table_bytes
+        stats.num_edges += deg
+
+    if group <= device.warp_size:
+        groups_per_warp = device.warp_size // group
+        warp_cycles, num_warps = warp_schedule(vertex_cycles, groups_per_warp)
+    elif shared:
+        # Block-wide processing (bucket 6): one vertex per 128-thread
+        # block; the block's warps all run for the vertex's duration.
+        warps_per_block = group // device.warp_size
+        warp_cycles = float(vertex_cycles.sum()) * warps_per_block
+        num_warps = vertices.size * warps_per_block
+    else:
+        # Bucket 7 (Section 4.1): global-memory tables are a fixed
+        # allocation, so several vertices share a block and are processed
+        # sequentially, re-using the table.  "To ensure a good load
+        # balance ... vertices in group seven are initially sorted by
+        # degree before the vertices are assigned to thread blocks in an
+        # interleaved fashion."
+        warps_per_block = group // device.warp_size
+        concurrent_blocks = max(1, min(vertices.size, device.num_sms * 4))
+        order = np.argsort(-graph.degrees[vertices], kind="stable")
+        block_cycles = np.zeros(concurrent_blocks, dtype=np.float64)
+        block_table = np.zeros(concurrent_blocks, dtype=np.float64)
+        for position, vertex_idx in enumerate(order.tolist()):
+            block = position % concurrent_blocks
+            block_cycles[block] += vertex_cycles[vertex_idx]
+            block_table[block] = max(block_table[block], table_sizes[vertex_idx])
+        # Blocks run concurrently; each occupies its warps for its total.
+        warp_cycles = float(block_cycles.sum()) * warps_per_block
+        num_warps = concurrent_blocks * warps_per_block
+        stats.global_bytes += int(block_table.sum())  # reused allocations
+    stats.warp_cycles += warp_cycles
+    stats.issued_thread_cycles += warp_cycles * device.warp_size
+    stats.num_warps += num_warps
+    stats.num_vertices += int(vertices.size)
+    return new_comm, stats

@@ -1,0 +1,76 @@
+"""Clustering hierarchy produced by the multi-stage Louvain process.
+
+The paper notes the CUDA implementation "only outputs the final modularity,
+and does not save intermediate clustering information" due to device
+memory pressure; on the host we have no such constraint, so the driver
+records every level and this module provides the dendrogram views a
+downstream user of a community-detection library expects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..metrics.modularity import modularity
+from ..result import LouvainResult, flatten_levels
+
+__all__ = ["Dendrogram", "cut_at_level", "best_level"]
+
+
+@dataclass(frozen=True)
+class Dendrogram:
+    """Immutable view of a hierarchical clustering.
+
+    ``levels[k]`` maps level-``k`` vertices to level-``k+1`` vertices; the
+    original graph is level 0.
+    """
+
+    graph: CSRGraph
+    levels: tuple[np.ndarray, ...]
+
+    @classmethod
+    def from_result(cls, graph: CSRGraph, result: LouvainResult) -> "Dendrogram":
+        """Build from a solver result."""
+        return cls(graph=graph, levels=tuple(result.levels))
+
+    @property
+    def depth(self) -> int:
+        """Number of levels."""
+        return len(self.levels)
+
+    def membership(self, level: int | None = None) -> np.ndarray:
+        """Flat clustering after ``level + 1`` stages (default: all)."""
+        if level is None:
+            level = self.depth - 1
+        if not 0 <= level < self.depth:
+            raise IndexError(f"level {level} out of range [0, {self.depth})")
+        return flatten_levels(list(self.levels[: level + 1]))
+
+    def modularities(self) -> list[float]:
+        """Modularity of the flat clustering at every level."""
+        return [modularity(self.graph, self.membership(k)) for k in range(self.depth)]
+
+    def community_counts(self) -> list[int]:
+        """Number of communities at every level."""
+        return [
+            int(np.unique(self.membership(k)).size) for k in range(self.depth)
+        ]
+
+
+def cut_at_level(result: LouvainResult, level: int) -> np.ndarray:
+    """Flat clustering of a result truncated at ``level`` (0-based)."""
+    return result.membership_at_level(level)
+
+
+def best_level(graph: CSRGraph, result: LouvainResult) -> int:
+    """Level whose flat clustering maximises modularity.
+
+    Normally the last level, but coarse thresholds can make late
+    aggregations overshoot; this picks the empirical best cut.
+    """
+    dendrogram = Dendrogram.from_result(graph, result)
+    values = dendrogram.modularities()
+    return int(np.argmax(values))

@@ -1,0 +1,52 @@
+"""Simulated GPU execution substrate.
+
+Everything the paper's CUDA kernels rely on, rebuilt so the algorithm can
+run and be *measured* without a GPU: device specs, hash tables with the
+paper's probing scheme, Thrust-style primitives, atomic accounting, a
+warp/thread-group scheduler, and a first-order cycle cost model.
+"""
+
+from .atomics import AtomicArray, AtomicStats
+from .costmodel import CostModel, CostParameters, WorkItem, warp_schedule
+from .device import AMPERE_A100, SMALL_DEVICE, TESLA_K40M, DeviceSpec
+from .hashtable import CommunityHashTable, HashTableStats
+from .primes import hash_table_size, next_prime_above, primes_up_to
+from .profiler import KernelStats, PhaseProfile, RunProfile
+from .warp import ScheduleOutcome, simulate_schedule
+from .thrust import (
+    exclusive_scan,
+    gather_rows,
+    inclusive_scan,
+    partition,
+    reduce_by_key,
+    stable_sort_by_key,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "TESLA_K40M",
+    "AMPERE_A100",
+    "SMALL_DEVICE",
+    "CommunityHashTable",
+    "HashTableStats",
+    "AtomicArray",
+    "AtomicStats",
+    "CostModel",
+    "CostParameters",
+    "WorkItem",
+    "warp_schedule",
+    "KernelStats",
+    "PhaseProfile",
+    "RunProfile",
+    "primes_up_to",
+    "next_prime_above",
+    "hash_table_size",
+    "exclusive_scan",
+    "inclusive_scan",
+    "partition",
+    "stable_sort_by_key",
+    "reduce_by_key",
+    "gather_rows",
+    "ScheduleOutcome",
+    "simulate_schedule",
+]

@@ -1,0 +1,77 @@
+"""Atomic-operation emulation with contention accounting.
+
+A serial Python execution is trivially atomic; what matters for the cost
+model is *how many* atomic operations the kernels issue and how contended
+they are.  :class:`AtomicArray` wraps an ndarray, applies updates exactly,
+and counts operations; batch updates report the worst-case serialisation
+(the maximum multiplicity of a single address within the batch), which is
+how a warp's conflicting atomics serialise on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AtomicStats", "AtomicArray"]
+
+
+@dataclass
+class AtomicStats:
+    """Counters for atomic traffic on one array."""
+
+    adds: int = 0
+    cas_attempts: int = 0
+    max_batch_conflict: int = 1
+
+    def merge(self, other: "AtomicStats") -> None:
+        """Accumulate another array's counters."""
+        self.adds += other.adds
+        self.cas_attempts += other.cas_attempts
+        self.max_batch_conflict = max(self.max_batch_conflict, other.max_batch_conflict)
+
+
+class AtomicArray:
+    """An ndarray whose updates go through counted atomic operations."""
+
+    def __init__(self, values: np.ndarray) -> None:
+        self.values = np.asarray(values).copy()
+        self.stats = AtomicStats()
+
+    def atomic_add(self, index: int, value) -> None:
+        """``atomicAdd(&values[index], value)``; returns nothing."""
+        self.values[index] += value
+        self.stats.adds += 1
+
+    def fetch_add(self, index: int, value):
+        """``atomicAdd`` returning the previous value (Alg. 3 line 18)."""
+        old = self.values[index]
+        self.values[index] += value
+        self.stats.adds += 1
+        return old
+
+    def cas(self, index: int, expected, new) -> bool:
+        """Compare-and-swap; True on success."""
+        self.stats.cas_attempts += 1
+        if self.values[index] == expected:
+            self.values[index] = new
+            return True
+        return False
+
+    def batch_add(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """A concurrently-issued batch of atomicAdds (one warp-step).
+
+        Applies all updates and records the worst per-address multiplicity
+        as the serialisation factor of the batch.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values)
+        if indices.size == 0:
+            return
+        np.add.at(self.values, indices, values)
+        self.stats.adds += int(indices.size)
+        multiplicity = int(np.bincount(indices).max())
+        self.stats.max_batch_conflict = max(
+            self.stats.max_batch_conflict, multiplicity
+        )

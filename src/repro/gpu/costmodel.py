@@ -1,0 +1,151 @@
+"""First-order cycle cost model for the simulated kernels.
+
+The model charges, per vertex processed by a group of ``g`` threads:
+
+* ``strides = ceil(deg / g)`` passes over the neighbour list, each loading
+  one edge per thread (coalesced global reads);
+* hash probes at shared- or global-memory latency (actual probe counts come
+  from the hash tables, so clustering/collisions are charged truthfully);
+* one atomic per probe that ends in an insert/accumulate;
+* a ``log2(g)``-step parallel reduction to pick the best community;
+* a fixed per-vertex overhead (index arithmetic, Eq.-2 evaluation).
+
+Warp time is the maximum over the groups packed into the warp — this is
+exactly where degree divergence hurts, and why the paper's equal-degree
+bucketing wins over node-centric assignment.  Kernel wall-clock is total
+warp-cycles divided by the device's sustained concurrent-warp throughput.
+
+The absolute constants are order-of-magnitude Kepler latencies; every
+comparison made with the model (bucketed vs node-centric, shared vs global
+tables) depends only on their ratios, which are robust.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .device import DeviceSpec, TESLA_K40M
+
+__all__ = ["CostParameters", "CostModel", "WorkItem", "warp_schedule"]
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Cycle costs of the primitive operations (Kepler-flavoured defaults)."""
+
+    edge_load: float = 8.0  # coalesced global read of (index, weight)
+    probe_shared: float = 4.0  # shared-memory hash probe
+    probe_global: float = 60.0  # global-memory hash probe
+    atomic_shared: float = 10.0  # shared-memory atomicAdd/CAS
+    atomic_global: float = 120.0  # global-memory atomicAdd/CAS
+    reduction_step: float = 6.0  # one step of the argmax shuffle reduction
+    vertex_overhead: float = 30.0  # per-vertex bookkeeping
+    kernel_launch: float = 5000.0  # host->device launch latency, in cycles
+    uva_multiplier: float = 5.0  # global-access slowdown once memory spills
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One vertex's (or community's) processing requirements."""
+
+    edges: int
+    probes: int
+    atomics: int
+
+
+def warp_times(vertex_cycles: np.ndarray, groups_per_warp: int) -> np.ndarray:
+    """Per-warp durations from per-group cycle counts.
+
+    Groups are packed in array order, ``groups_per_warp`` per warp; each
+    warp runs as long as its slowest group (lock-step divergence).
+    """
+    vertex_cycles = np.asarray(vertex_cycles, dtype=np.float64)
+    if vertex_cycles.size == 0:
+        return np.empty(0, dtype=np.float64)
+    num_warps = -(-vertex_cycles.size // groups_per_warp)
+    padded = np.zeros(num_warps * groups_per_warp, dtype=np.float64)
+    padded[: vertex_cycles.size] = vertex_cycles
+    return padded.reshape(num_warps, groups_per_warp).max(axis=1)
+
+
+def warp_schedule(
+    vertex_cycles: np.ndarray, groups_per_warp: int
+) -> tuple[float, int]:
+    """Pack per-group cycle counts into warps; return (warp_cycles, warps).
+
+    See :func:`warp_times` for the packing rule.
+    """
+    times = warp_times(vertex_cycles, groups_per_warp)
+    return float(times.sum()), int(times.size)
+
+
+class CostModel:
+    """Evaluates kernel costs on a :class:`DeviceSpec`."""
+
+    def __init__(
+        self,
+        device: DeviceSpec = TESLA_K40M,
+        params: CostParameters | None = None,
+    ) -> None:
+        self.device = device
+        self.params = params or CostParameters()
+
+    def vertex_cycles(
+        self,
+        work: WorkItem,
+        group_size: int,
+        *,
+        shared: bool,
+    ) -> float:
+        """Cycles a ``group_size``-thread group spends on one vertex."""
+        p = self.params
+        probe_cost = p.probe_shared if shared else p.probe_global
+        atomic_cost = p.atomic_shared if shared else p.atomic_global
+        strides = -(-work.edges // group_size) if work.edges else 0
+        if work.edges:
+            per_edge = (
+                p.edge_load
+                + probe_cost * (work.probes / work.edges)
+                + atomic_cost * (work.atomics / work.edges)
+            )
+        else:
+            per_edge = 0.0
+        reduction = math.ceil(math.log2(group_size)) * p.reduction_step if group_size > 1 else 0.0
+        return strides * per_edge + reduction + p.vertex_overhead
+
+    def active_cycles(self, work: WorkItem, *, shared: bool) -> float:
+        """Thread-cycles of useful work for one vertex (no idle lanes)."""
+        p = self.params
+        probe_cost = p.probe_shared if shared else p.probe_global
+        atomic_cost = p.atomic_shared if shared else p.atomic_global
+        return (
+            work.edges * p.edge_load
+            + work.probes * probe_cost
+            + work.atomics * atomic_cost
+        )
+
+    def kernel_seconds(self, warp_cycles: float, *, launches: int = 1) -> float:
+        """Convert accumulated warp-cycles into simulated wall-clock."""
+        cycles = warp_cycles / self.device.concurrent_warps + (
+            launches * self.params.kernel_launch
+        )
+        return self.device.cycles_to_seconds(cycles)
+
+    def uva_slowdown(self, num_vertices: int, num_stored_edges: int) -> float:
+        """What-if factor for unified-virtual-addressing spill (Section 6).
+
+        The paper notes UVA "could mitigate" the device-memory limit but
+        that "accessing such memory is expected to be slower".  Model:
+        once the working set exceeds device memory, the spilled fraction
+        of global accesses pays ``uva_multiplier``; the blended slowdown
+        interpolates between 1 (fits) and the full multiplier (entirely
+        out of core).
+        """
+        over = self.device.oversubscription(num_vertices, num_stored_edges)
+        if over <= 1.0:
+            return 1.0
+        spilled_fraction = min(1.0, 1.0 - 1.0 / over)
+        return 1.0 + spilled_fraction * (self.params.uva_multiplier - 1.0)

@@ -1,0 +1,152 @@
+"""Device model: the hardware parameters the cost model charges against.
+
+The paper's experiments ran on a Tesla K40m (12 GB, 2880 cores at 745 MHz,
+compute capability 3.5, 15 SMX units).  :data:`TESLA_K40M` encodes that
+card; other presets exist to let the ablation benchmarks ask "what if"
+questions (more SMs, smaller shared memory, narrower warps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "TESLA_K40M", "AMPERE_A100", "SMALL_DEVICE"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Parameters of a (simulated) CUDA device.
+
+    Attributes mirror what the kernels in Section 4.1 depend on: warp
+    width, the 4-warp thread blocks, shared-memory capacity (which decides
+    bucket 6 vs bucket 7 placement of hash tables), and the SM count that
+    converts warp-cycles into wall-clock.
+    """
+
+    name: str
+    num_sms: int
+    cores_per_sm: int
+    clock_mhz: float
+    warp_size: int = 32
+    warps_per_block: int = 4
+    max_resident_warps_per_sm: int = 64
+    shared_memory_per_block: int = 48 * 1024
+    global_memory: int = 12 * 1024**3
+    pcie_bandwidth: float = 12e9  # bytes/s (PCIe 3.0 x16, the K40m's link)
+
+    @property
+    def threads_per_block(self) -> int:
+        """Threads per block (the paper uses 4 warps = 128 threads)."""
+        return self.warp_size * self.warps_per_block
+
+    @property
+    def total_cores(self) -> int:
+        """Total CUDA cores."""
+        return self.num_sms * self.cores_per_sm
+
+    @property
+    def concurrent_warps(self) -> int:
+        """Warps the device can execute concurrently (one per scheduler).
+
+        Kepler SMX units have 4 warp schedulers; we approximate sustained
+        throughput as ``4 * num_sms`` warps in flight per cycle.
+        """
+        return 4 * self.num_sms
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert device cycles to seconds at the spec's clock."""
+        return cycles / (self.clock_mhz * 1e6)
+
+    def shared_table_capacity(self, bytes_per_slot: int = 12) -> int:
+        """Hash-table slots that fit in one block's shared memory.
+
+        A slot holds an ``int`` community id and a weight (4 + 8 bytes in
+        the CUDA code).  This bound decides the degree threshold between
+        buckets 6 (shared) and 7 (global): 48 KiB / 12 B = 4096 slots,
+        comfortably above the prime > 1.5 * 319 needed by bucket 6.
+        """
+        return self.shared_memory_per_block // bytes_per_slot
+
+    def memory_required_bytes(
+        self, num_vertices: int, num_stored_edges: int
+    ) -> int:
+        """Device-memory footprint of a graph during the algorithm.
+
+        Counts the CSR arrays (``vertices``/``edges``/``weights``,
+        Section 4.1) in the CUDA code's 32-bit device layout (int indices,
+        float weights), the community/newComm/volume working arrays, and a
+        second edge buffer for the contracted graph under construction —
+        the reason the paper notes "the size of the current GPU memory can
+        restrict the problems that can be solved" and drops intermediate
+        clustering output.  uk-2002 (18.5M vertices, 584M stored entries)
+        lands at ~9.4 GB: it fits the K40m's 12 GB, barely — matching the
+        paper's experience.
+        """
+        csr = 4 * (num_vertices + 1) + (4 + 4) * num_stored_edges
+        working = 5 * 4 * num_vertices  # C, newComm, a_c, comSize, comDegree
+        contraction = (4 + 4) * num_stored_edges  # new edge lists, worst case
+        return csr + working + contraction
+
+    def fits(self, num_vertices: int, num_stored_edges: int) -> bool:
+        """Whether the working set fits in device global memory."""
+        return (
+            self.memory_required_bytes(num_vertices, num_stored_edges)
+            <= self.global_memory
+        )
+
+    def transfer_seconds(self, num_bytes: int) -> float:
+        """Host -> device copy time over the PCIe link.
+
+        Section 4.1: "The input graph is initially transferred to the
+        device memory.  All processing is then carried out on the device."
+        This is the one-off cost that processing amortises.
+        """
+        if self.pcie_bandwidth <= 0:
+            return 0.0
+        return num_bytes / self.pcie_bandwidth
+
+    def graph_transfer_seconds(self, num_vertices: int, num_stored_edges: int) -> float:
+        """Transfer time for a CSR graph in the 32-bit device layout."""
+        csr_bytes = 4 * (num_vertices + 1) + (4 + 4) * num_stored_edges
+        return self.transfer_seconds(csr_bytes)
+
+    def oversubscription(self, num_vertices: int, num_stored_edges: int) -> float:
+        """Working set / device memory (``> 1`` means UVA spill)."""
+        if self.global_memory <= 0:
+            return float("inf")
+        return (
+            self.memory_required_bytes(num_vertices, num_stored_edges)
+            / self.global_memory
+        )
+
+
+TESLA_K40M = DeviceSpec(
+    name="Tesla K40m",
+    num_sms=15,
+    cores_per_sm=192,
+    clock_mhz=745.0,
+)
+"""The card of the paper's experiments."""
+
+AMPERE_A100 = DeviceSpec(
+    name="A100-SXM4-40GB",
+    num_sms=108,
+    cores_per_sm=64,
+    clock_mhz=1410.0,
+    shared_memory_per_block=160 * 1024,
+    global_memory=40 * 1024**3,
+    pcie_bandwidth=25e9,  # PCIe 4.0 x16
+)
+"""A modern datacenter part, for "what would the paper's numbers look
+like today" what-ifs: 7.2x the SMs-x-clock throughput, 3.3x the memory,
+3.3x the shared memory per block (which would let bucket 7's boundary
+move from degree 319 to ~1000)."""
+
+SMALL_DEVICE = DeviceSpec(
+    name="small-test-device",
+    num_sms=2,
+    cores_per_sm=32,
+    clock_mhz=100.0,
+    shared_memory_per_block=4 * 1024,
+)
+"""A deliberately tiny device for unit tests of capacity-driven paths."""

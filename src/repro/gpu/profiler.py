@@ -1,0 +1,128 @@
+"""Kernel and run profiles produced by the simulated engine.
+
+The paper reports device-utilisation numbers ("on average 62.5% of the
+threads in a warp are active whenever the warp is selected for execution",
+"3.4 eligible warps per cycle") — these structures collect the equivalents
+from our simulated executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .hashtable import HashTableStats
+
+__all__ = ["KernelStats", "PhaseProfile", "RunProfile"]
+
+
+@dataclass
+class KernelStats:
+    """Accounting for one simulated kernel launch."""
+
+    name: str
+    warp_cycles: float = 0.0
+    active_thread_cycles: float = 0.0
+    issued_thread_cycles: float = 0.0
+    num_warps: int = 0
+    num_vertices: int = 0
+    num_edges: int = 0
+    hash_stats: HashTableStats = field(default_factory=HashTableStats)
+    shared_bytes: int = 0
+    global_bytes: int = 0
+    allocated_edge_slots: int = 0
+    used_edge_slots: int = 0
+
+    @property
+    def active_thread_fraction(self) -> float:
+        """Fraction of issued thread-cycles doing useful work.
+
+        The analogue of the profiler's "active threads per executed warp".
+        """
+        if self.issued_thread_cycles <= 0:
+            return 0.0
+        return min(1.0, self.active_thread_cycles / self.issued_thread_cycles)
+
+    @property
+    def edge_slot_utilisation(self) -> float:
+        """Used / allocated edge slots in the contraction buffers.
+
+        Alg. 3 sizes each community's new edge list by the *sum of member
+        degrees* rather than the exact merged count ("it is possible to
+        calculate this number exactly, but this would have required
+        additional time and memory") — this ratio measures how much of the
+        upper-bound allocation the merged lists actually used.
+        """
+        if self.allocated_edge_slots <= 0:
+            return 0.0
+        return self.used_edge_slots / self.allocated_edge_slots
+
+    def merge(self, other: "KernelStats") -> None:
+        """Accumulate another launch of the same kernel."""
+        self.warp_cycles += other.warp_cycles
+        self.active_thread_cycles += other.active_thread_cycles
+        self.issued_thread_cycles += other.issued_thread_cycles
+        self.num_warps += other.num_warps
+        self.num_vertices += other.num_vertices
+        self.num_edges += other.num_edges
+        self.hash_stats.merge(other.hash_stats)
+        self.shared_bytes += other.shared_bytes
+        self.global_bytes += other.global_bytes
+        self.allocated_edge_slots += other.allocated_edge_slots
+        self.used_edge_slots += other.used_edge_slots
+
+
+@dataclass
+class PhaseProfile:
+    """All kernel launches of one phase (optimization or aggregation)."""
+
+    kernels: list[KernelStats] = field(default_factory=list)
+
+    def add(self, stats: KernelStats) -> None:
+        """Record one kernel launch."""
+        self.kernels.append(stats)
+
+    @property
+    def warp_cycles(self) -> float:
+        """Total warp-cycles across launches."""
+        return sum(k.warp_cycles for k in self.kernels)
+
+    @property
+    def active_thread_fraction(self) -> float:
+        """Issue-weighted average active-thread fraction."""
+        issued = sum(k.issued_thread_cycles for k in self.kernels)
+        if issued <= 0:
+            return 0.0
+        active = sum(k.active_thread_cycles for k in self.kernels)
+        return min(1.0, active / issued)
+
+    def by_kernel(self) -> dict[str, KernelStats]:
+        """Merge launches by kernel name."""
+        merged: dict[str, KernelStats] = {}
+        for k in self.kernels:
+            if k.name not in merged:
+                merged[k.name] = KernelStats(name=k.name)
+            merged[k.name].merge(k)
+        return merged
+
+
+@dataclass
+class RunProfile:
+    """Per-level phase profiles for a whole simulated run."""
+
+    optimization: list[PhaseProfile] = field(default_factory=list)
+    aggregation: list[PhaseProfile] = field(default_factory=list)
+
+    def total_warp_cycles(self) -> float:
+        """Warp-cycles across every phase of every level."""
+        return sum(p.warp_cycles for p in self.optimization) + sum(
+            p.warp_cycles for p in self.aggregation
+        )
+
+    def active_thread_fraction(self) -> float:
+        """Issue-weighted active-thread fraction over the whole run."""
+        issued = active = 0.0
+        for phase in [*self.optimization, *self.aggregation]:
+            for k in phase.kernels:
+                issued += k.issued_thread_cycles
+                active += k.active_thread_cycles
+        return min(1.0, active / issued) if issued > 0 else 0.0

@@ -1,0 +1,33 @@
+"""Graph substrate: CSR storage, builders, generators, and file I/O."""
+
+from .build import (
+    empty_graph,
+    ensure_connected_relabelled,
+    from_edges,
+    from_networkx,
+    from_scipy,
+    induced_subgraph,
+    relabel,
+    update_edges,
+)
+from .csr import CSRGraph
+from .io import load_graph, read_edge_list, read_metis, write_edge_list, write_metis
+from .validation import validate
+
+__all__ = [
+    "CSRGraph",
+    "from_edges",
+    "from_scipy",
+    "from_networkx",
+    "empty_graph",
+    "relabel",
+    "induced_subgraph",
+    "update_edges",
+    "ensure_connected_relabelled",
+    "load_graph",
+    "read_edge_list",
+    "write_edge_list",
+    "read_metis",
+    "write_metis",
+    "validate",
+]

@@ -1,0 +1,254 @@
+"""Builders that turn raw edge data into :class:`~repro.graph.csr.CSRGraph`.
+
+The entry point used everywhere else is :func:`from_edges`, which accepts an
+arbitrary (possibly duplicated, one-directional, unsorted) undirected edge
+list and produces a canonical CSR graph: symmetrised, duplicate edges merged
+by weight summation, rows sorted by neighbour id.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = [
+    "from_edges",
+    "from_directed_entries",
+    "from_scipy",
+    "from_networkx",
+    "empty_graph",
+    "relabel",
+    "induced_subgraph",
+    "update_edges",
+    "ensure_connected_relabelled",
+]
+
+
+def from_edges(
+    u: Iterable[int] | np.ndarray,
+    v: Iterable[int] | np.ndarray,
+    w: Iterable[float] | np.ndarray | None = None,
+    *,
+    num_vertices: int | None = None,
+) -> CSRGraph:
+    """Build a canonical undirected CSR graph from an edge list.
+
+    Each pair ``(u[i], v[i])`` denotes one undirected edge; supplying the
+    edge in either or both directions is equivalent — duplicates (including
+    reverse duplicates) are merged and their weights summed.  Self-loops are
+    allowed and end up stored once.
+
+    Parameters
+    ----------
+    u, v:
+        Endpoint arrays of equal length.
+    w:
+        Optional weights (default: all ones).
+    num_vertices:
+        Total vertex count; defaults to ``max(endpoint) + 1``.
+    """
+    u = np.asarray(u, dtype=np.int64).ravel()
+    v = np.asarray(v, dtype=np.int64).ravel()
+    if u.shape != v.shape:
+        raise ValueError("u and v must have the same length")
+    if w is None:
+        w = np.ones(u.size, dtype=np.float64)
+    else:
+        w = np.asarray(w, dtype=np.float64).ravel()
+        if w.shape != u.shape:
+            raise ValueError("w must match u/v in length")
+    if u.size and (min(u.min(), v.min()) < 0):
+        raise ValueError("vertex ids must be non-negative")
+    n = int(num_vertices) if num_vertices is not None else (
+        int(max(u.max(), v.max())) + 1 if u.size else 0
+    )
+    if u.size and max(u.max(), v.max()) >= n:
+        raise ValueError("num_vertices too small for supplied edge endpoints")
+
+    if u.size == 0:
+        return empty_graph(n)
+
+    # Canonicalise each undirected edge as (min, max) and merge duplicates.
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    key = lo * n + hi
+    order = np.argsort(key, kind="stable")
+    key = key[order]
+    wsorted = w[order]
+    boundary = np.flatnonzero(np.concatenate(([True], key[1:] != key[:-1])))
+    merged_key = key[boundary]
+    merged_w = np.add.reduceat(wsorted, boundary)
+    mlo = merged_key // n
+    mhi = merged_key % n
+
+    # Expand to both stored directions (self-loops once).
+    not_loop = mlo != mhi
+    src = np.concatenate([mlo, mhi[not_loop]])
+    dst = np.concatenate([mhi, mlo[not_loop]])
+    ww = np.concatenate([merged_w, merged_w[not_loop]])
+
+    counts = np.bincount(src, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    order = np.argsort(src * np.int64(max(n, 1)) + dst, kind="stable")
+    return CSRGraph(indptr=indptr, indices=dst[order], weights=ww[order])
+
+
+def from_directed_entries(
+    u: np.ndarray, v: np.ndarray, w: np.ndarray, num_vertices: int
+) -> CSRGraph:
+    """Build a CSR graph from already-expanded stored entries.
+
+    Callers (the aggregation kernels) supply exactly the entries to store:
+    both directions of every off-diagonal edge and each self-loop once.
+    No symmetrisation or merging happens here — the input is trusted (and
+    validated in tests); entries are only sorted into CSR order.
+    """
+    u = np.asarray(u, dtype=np.int64).ravel()
+    v = np.asarray(v, dtype=np.int64).ravel()
+    w = np.asarray(w, dtype=np.float64).ravel()
+    if not (u.shape == v.shape == w.shape):
+        raise ValueError("u, v, w must be parallel")
+    counts = np.bincount(u, minlength=num_vertices)
+    indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    order = np.argsort(u * np.int64(max(num_vertices, 1)) + v, kind="stable")
+    return CSRGraph(indptr=indptr, indices=v[order], weights=w[order])
+
+
+def from_scipy(matrix) -> CSRGraph:
+    """Build from a scipy sparse matrix, interpreted as undirected.
+
+    The matrix is symmetrised by ``max`` of the two triangles; the diagonal
+    becomes self-loops.
+    """
+    from scipy.sparse import coo_matrix
+
+    coo = coo_matrix(matrix)
+    if coo.shape[0] != coo.shape[1]:
+        raise ValueError("adjacency matrix must be square")
+    upper = coo.row <= coo.col
+    return from_edges(
+        coo.row[upper], coo.col[upper], coo.data[upper], num_vertices=coo.shape[0]
+    )
+
+
+def from_networkx(graph) -> CSRGraph:
+    """Build from a ``networkx`` graph (nodes relabelled to 0..n-1).
+
+    Edge attribute ``weight`` is honoured when present, else 1.0.
+    """
+    nodes = list(graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    us, vs, ws = [], [], []
+    for a, b, data in graph.edges(data=True):
+        us.append(index[a])
+        vs.append(index[b])
+        ws.append(float(data.get("weight", 1.0)))
+    return from_edges(us, vs, ws, num_vertices=len(nodes))
+
+
+def empty_graph(num_vertices: int) -> CSRGraph:
+    """A graph with ``num_vertices`` vertices and no edges."""
+    return CSRGraph(
+        indptr=np.zeros(num_vertices + 1, dtype=np.int64),
+        indices=np.empty(0, dtype=np.int64),
+        weights=np.empty(0, dtype=np.float64),
+    )
+
+
+def relabel(graph: CSRGraph, permutation: np.ndarray) -> CSRGraph:
+    """Relabel vertices: new id of old vertex ``v`` is ``permutation[v]``."""
+    permutation = np.asarray(permutation, dtype=np.int64)
+    if permutation.shape != (graph.num_vertices,):
+        raise ValueError("permutation must have one entry per vertex")
+    if np.bincount(permutation, minlength=graph.num_vertices).max(initial=0) > 1:
+        raise ValueError("permutation is not a bijection")
+    u, v, w = graph.edge_list(unique=True)
+    return from_edges(
+        permutation[u], permutation[v], w, num_vertices=graph.num_vertices
+    )
+
+
+def induced_subgraph(graph: CSRGraph, vertices: np.ndarray) -> CSRGraph:
+    """Subgraph induced on ``vertices`` (relabelled 0..len-1 in given order)."""
+    vertices = np.asarray(vertices, dtype=np.int64)
+    newid = np.full(graph.num_vertices, -1, dtype=np.int64)
+    newid[vertices] = np.arange(vertices.size, dtype=np.int64)
+    u, v, w = graph.edge_list(unique=True)
+    keep = (newid[u] >= 0) & (newid[v] >= 0)
+    return from_edges(
+        newid[u[keep]], newid[v[keep]], w[keep], num_vertices=vertices.size
+    )
+
+
+def update_edges(
+    graph: CSRGraph,
+    *,
+    add: tuple[np.ndarray, np.ndarray, np.ndarray | None] | None = None,
+    remove: tuple[np.ndarray, np.ndarray] | None = None,
+) -> CSRGraph:
+    """Apply a batch of edge insertions/removals; returns a new graph.
+
+    The dynamic-network-analytics workflow of the paper's introduction:
+    stream updates in, then re-cluster (ideally warm-started from the
+    previous membership).
+
+    Parameters
+    ----------
+    add:
+        ``(u, v, w)`` arrays of edges to insert (``w=None`` -> unit
+        weights).  Adding an existing edge *sums* onto its weight.
+    remove:
+        ``(u, v)`` arrays of undirected edges to delete entirely.
+        Removing a non-existent edge is a no-op.
+    """
+    u, v, w = graph.edge_list(unique=True)
+    n = graph.num_vertices
+    if remove is not None:
+        ru = np.minimum(np.asarray(remove[0], dtype=np.int64),
+                        np.asarray(remove[1], dtype=np.int64))
+        rv = np.maximum(np.asarray(remove[0], dtype=np.int64),
+                        np.asarray(remove[1], dtype=np.int64))
+        if ru.size and (ru.min() < 0 or max(ru.max(), rv.max()) >= n):
+            raise ValueError("removal endpoints out of range")
+        doomed = set(zip(ru.tolist(), rv.tolist()))
+        keep = np.fromiter(
+            ((a, b) not in doomed for a, b in zip(u.tolist(), v.tolist())),
+            dtype=bool,
+            count=u.size,
+        )
+        u, v, w = u[keep], v[keep], w[keep]
+    if add is not None:
+        au = np.asarray(add[0], dtype=np.int64)
+        av = np.asarray(add[1], dtype=np.int64)
+        aw = (
+            np.ones(au.size, dtype=np.float64)
+            if add[2] is None
+            else np.asarray(add[2], dtype=np.float64)
+        )
+        if au.size and (min(au.min(), av.min()) < 0 or max(au.max(), av.max()) >= n):
+            raise ValueError("insertion endpoints out of range")
+        u = np.concatenate([u, au])
+        v = np.concatenate([v, av])
+        w = np.concatenate([w, aw])
+    return from_edges(u, v, w, num_vertices=n)
+
+
+def ensure_connected_relabelled(graph: CSRGraph) -> CSRGraph:
+    """Return the largest connected component as its own graph.
+
+    Useful for generators that may leave isolated fragments; community
+    detection results on fragments are uninteresting noise in benchmarks.
+    """
+    from scipy.sparse.csgraph import connected_components
+
+    ncomp, labels = connected_components(graph.to_scipy(), directed=False)
+    if ncomp <= 1:
+        return graph
+    counts = np.bincount(labels)
+    keep = np.flatnonzero(labels == counts.argmax())
+    return induced_subgraph(graph, keep)

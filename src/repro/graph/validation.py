@@ -1,0 +1,56 @@
+"""Structural invariant checks for CSR graphs.
+
+These run in tests and (optionally) at the boundaries of the aggregation
+phase; they are cheap relative to the algorithms and catch the classic
+contraction bugs (missing reverse edge, doubled self-loop, weight drift).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = ["check_symmetric", "check_sorted_rows", "check_no_parallel_edges", "validate"]
+
+
+def check_symmetric(graph: CSRGraph, *, tol: float = 1e-9) -> None:
+    """Raise ``AssertionError`` unless every edge has a matching reverse.
+
+    The check compares the multiset of ``(u, v, w)`` with ``(v, u, w)``.
+    """
+    u = graph.vertex_of_edge
+    v = graph.indices
+    w = graph.weights
+    fwd = np.lexsort((v, u))
+    rev = np.lexsort((u, v))
+    if not (
+        np.array_equal(u[fwd], v[rev])
+        and np.array_equal(v[fwd], u[rev])
+        and np.allclose(w[fwd], w[rev], atol=tol, rtol=0)
+    ):
+        raise AssertionError("graph is not symmetric")
+
+
+def check_sorted_rows(graph: CSRGraph) -> None:
+    """Raise unless each row's neighbour ids are strictly increasing."""
+    for v in range(graph.num_vertices):
+        row = graph.neighbors(v)
+        if row.size > 1 and np.any(np.diff(row) <= 0):
+            raise AssertionError(f"row {v} is not strictly sorted")
+
+
+def check_no_parallel_edges(graph: CSRGraph) -> None:
+    """Raise if any row contains a repeated neighbour id."""
+    u = graph.vertex_of_edge
+    v = graph.indices
+    key = u * graph.num_vertices + v
+    if np.unique(key).size != key.size:
+        raise AssertionError("graph contains parallel edges")
+
+
+def validate(graph: CSRGraph) -> None:
+    """Run all canonical-form checks (symmetry, sortedness, no duplicates)."""
+    check_symmetric(graph)
+    check_sorted_rows(graph)
+    check_no_parallel_edges(graph)

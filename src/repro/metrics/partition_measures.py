@@ -1,0 +1,99 @@
+"""Partition quality measures beyond modularity (coverage, conductance...).
+
+Modularity is the paper's objective, but a community-detection library is
+routinely asked for the complementary measures (Fortunato's survey [10],
+which the paper cites, defines them all):
+
+* **coverage** — fraction of edge weight that is intra-community;
+* **performance** — fraction of vertex pairs "correctly classified"
+  (intra pairs joined + inter pairs separated);
+* **conductance** — per community, cut weight / min(volume, complement
+  volume); lower is better.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .modularity import _check_partition, community_volumes
+
+__all__ = ["coverage", "performance", "conductance", "worst_conductance"]
+
+
+def coverage(graph: CSRGraph, communities: np.ndarray) -> float:
+    """Intra-community edge weight / total edge weight, in [0, 1].
+
+    The trivial all-in-one partition scores 1; modularity's null-model
+    term is exactly what penalises that degenerate optimum.
+    """
+    communities = _check_partition(graph, communities)
+    total = graph.total_weight
+    if total == 0:
+        return 1.0
+    src = communities[graph.vertex_of_edge]
+    dst = communities[graph.indices]
+    internal = float(graph.weights[src == dst].sum())
+    return internal / total
+
+
+def performance(graph: CSRGraph, communities: np.ndarray) -> float:
+    """Fraction of correctly classified vertex pairs, in [0, 1].
+
+    A pair is correct if it is joined and adjacent, or separated and
+    non-adjacent.  Uses structural adjacency (weights ignored); self-pairs
+    excluded.  O(E + k) via counting, no pairwise loop.
+    """
+    communities = _check_partition(graph, communities)
+    n = graph.num_vertices
+    if n < 2:
+        return 1.0
+    src = communities[graph.vertex_of_edge]
+    dst = communities[graph.indices]
+    not_loop = graph.vertex_of_edge != graph.indices
+    # stored entries count each undirected edge twice
+    intra_edges = int((src[not_loop] == dst[not_loop]).sum()) // 2
+    inter_edges = int((src[not_loop] != dst[not_loop]).sum()) // 2
+    sizes = np.bincount(communities)
+    intra_pairs = int((sizes * (sizes - 1) // 2).sum())
+    total_pairs = n * (n - 1) // 2
+    # correct = adjacent intra pairs + non-adjacent inter pairs
+    inter_pairs = total_pairs - intra_pairs
+    correct = intra_edges + (inter_pairs - inter_edges)
+    return correct / total_pairs
+
+
+def conductance(graph: CSRGraph, communities: np.ndarray) -> np.ndarray:
+    """Conductance of every community (dense-label order), in [0, 1].
+
+    ``phi(c) = cut(c) / min(vol(c), vol(V) - vol(c))``; communities whose
+    volume is zero (isolated vertices) get 0.  Lower is better; a good
+    community keeps most of its edge weight inside.
+    """
+    communities = _check_partition(graph, communities)
+    volumes = community_volumes(graph, communities)
+    size = volumes.size
+    src = communities[graph.vertex_of_edge]
+    dst = communities[graph.indices]
+    external = src != dst
+    cut = np.bincount(
+        src[external], weights=graph.weights[external], minlength=size
+    )
+    total = graph.total_weight
+    denom = np.minimum(volumes, total - volumes)
+    out = np.zeros(size, dtype=np.float64)
+    positive = denom > 0
+    out[positive] = cut[positive] / denom[positive]
+    return out
+
+
+def worst_conductance(graph: CSRGraph, communities: np.ndarray) -> float:
+    """Max conductance over non-empty communities (0 for no communities)."""
+    communities = _check_partition(graph, communities)
+    if communities.size == 0:
+        return 0.0
+    values = conductance(graph, communities)
+    present = np.bincount(communities, minlength=values.size) > 0
+    if not present.any():
+        return 0.0
+    return float(values[present].max())

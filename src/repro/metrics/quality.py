@@ -1,0 +1,125 @@
+"""Partition quality measures beyond modularity.
+
+Used to verify that detected communities recover planted ground truth on
+the synthetic suite (planted partition / LFR-like generators) and to report
+community statistics for figures 5/6-style stage analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "normalize_labels",
+    "community_sizes",
+    "num_communities",
+    "normalized_mutual_information",
+    "adjusted_rand_index",
+    "PartitionStats",
+    "partition_stats",
+]
+
+
+def normalize_labels(labels: np.ndarray) -> np.ndarray:
+    """Relabel arbitrary non-negative labels to dense ``0..k-1`` by first use."""
+    labels = np.asarray(labels, dtype=np.int64)
+    _, first_index, inverse = np.unique(labels, return_index=True, return_inverse=True)
+    # np.unique orders by value; reorder so labels appear in first-use order.
+    order = np.argsort(np.argsort(first_index))
+    return order[inverse]
+
+
+def community_sizes(labels: np.ndarray) -> np.ndarray:
+    """Vector of community sizes, indexed by dense label."""
+    return np.bincount(normalize_labels(labels))
+
+
+def num_communities(labels: np.ndarray) -> int:
+    """Number of distinct community labels."""
+    return int(np.unique(np.asarray(labels)).size)
+
+
+def _contingency(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    a = normalize_labels(a)
+    b = normalize_labels(b)
+    ka = int(a.max()) + 1 if a.size else 0
+    kb = int(b.max()) + 1 if b.size else 0
+    table = np.zeros((ka, kb), dtype=np.int64)
+    np.add.at(table, (a, b), 1)
+    return table
+
+
+def normalized_mutual_information(a: np.ndarray, b: np.ndarray) -> float:
+    """NMI between two labelings, arithmetic-mean normalisation, in [0, 1]."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError("labelings must have the same length")
+    n = a.size
+    if n == 0:
+        return 1.0
+    table = _contingency(a, b)
+    pa = table.sum(axis=1) / n
+    pb = table.sum(axis=0) / n
+    pab = table / n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        mi_terms = pab * np.log(pab / np.outer(pa, pb))
+    mi = float(np.nansum(mi_terms))
+    ha = float(-np.sum(pa[pa > 0] * np.log(pa[pa > 0])))
+    hb = float(-np.sum(pb[pb > 0] * np.log(pb[pb > 0])))
+    denom = (ha + hb) / 2.0
+    if denom == 0.0:
+        return 1.0
+    return mi / denom
+
+
+def adjusted_rand_index(a: np.ndarray, b: np.ndarray) -> float:
+    """Adjusted Rand index between two labelings (1 = identical)."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError("labelings must have the same length")
+    n = a.size
+    if n <= 1:
+        return 1.0
+    table = _contingency(a, b)
+
+    def comb2(x: np.ndarray) -> np.ndarray:
+        return x * (x - 1) / 2.0
+
+    sum_cells = comb2(table).sum()
+    sum_rows = comb2(table.sum(axis=1)).sum()
+    sum_cols = comb2(table.sum(axis=0)).sum()
+    total = comb2(np.array([n]))[0]
+    expected = sum_rows * sum_cols / total
+    maximum = (sum_rows + sum_cols) / 2.0
+    if maximum == expected:
+        return 1.0
+    return float((sum_cells - expected) / (maximum - expected))
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """Summary statistics of a partition (used in stage reports)."""
+
+    num_communities: int
+    largest: int
+    smallest: int
+    mean_size: float
+    singleton_fraction: float
+
+
+def partition_stats(labels: np.ndarray) -> PartitionStats:
+    """Compute :class:`PartitionStats` for a labeling."""
+    sizes = community_sizes(labels)
+    if sizes.size == 0:
+        return PartitionStats(0, 0, 0, 0.0, 0.0)
+    return PartitionStats(
+        num_communities=int(sizes.size),
+        largest=int(sizes.max()),
+        smallest=int(sizes.min()),
+        mean_size=float(sizes.mean()),
+        singleton_fraction=float((sizes == 1).sum() / sizes.size),
+    )

@@ -1,0 +1,47 @@
+"""Traversed edges per second (TEPS), as defined in the paper's Section 3.
+
+"TEPS is the number of traversed edges per second in the first modularity
+phase."  Both stored directions are hashed exactly once per sweep of the
+first phase, so the edge count is ``2|E| * sweeps_of_first_phase``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["TepsResult", "teps"]
+
+
+@dataclass(frozen=True)
+class TepsResult:
+    """TEPS measurement for one run."""
+
+    edges_traversed: int
+    seconds: float
+
+    @property
+    def teps(self) -> float:
+        """Traversed edges per second."""
+        return self.edges_traversed / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def gteps(self) -> float:
+        """Giga-TEPS, the unit the paper reports."""
+        return self.teps / 1e9
+
+    @property
+    def mteps(self) -> float:
+        """Mega-TEPS — the natural unit at this reproduction's scale."""
+        return self.teps / 1e6
+
+
+def teps(
+    graph: CSRGraph, first_phase_sweeps: int, first_phase_seconds: float
+) -> TepsResult:
+    """Build a :class:`TepsResult` from first-phase sweep count and time."""
+    return TepsResult(
+        edges_traversed=graph.num_stored_edges * max(first_phase_sweeps, 0),
+        seconds=first_phase_seconds,
+    )

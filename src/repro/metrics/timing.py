@@ -1,0 +1,93 @@
+"""Timing records for the per-stage breakdowns of figures 5 and 6.
+
+A Louvain run is a sequence of *stages* (levels of the hierarchy), each
+made of a *modularity optimization* phase and an *aggregation* phase.  The
+solvers in :mod:`repro.core` and :mod:`repro.seq` fill a
+:class:`RunTimings` as they go; the figure-5/6 benchmark prints it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["StageTiming", "RunTimings", "Stopwatch"]
+
+
+@dataclass
+class StageTiming:
+    """Wall-clock seconds spent in one stage of the hierarchy."""
+
+    stage: int
+    optimization_seconds: float = 0.0
+    aggregation_seconds: float = 0.0
+    num_vertices: int = 0
+    num_edges: int = 0
+    sweeps: int = 0
+    modularity: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Optimization plus aggregation time."""
+        return self.optimization_seconds + self.aggregation_seconds
+
+
+@dataclass
+class RunTimings:
+    """All stage timings of one solver run."""
+
+    stages: list[StageTiming] = field(default_factory=list)
+
+    def new_stage(self, num_vertices: int, num_edges: int) -> StageTiming:
+        """Append and return a fresh :class:`StageTiming`."""
+        stage = StageTiming(
+            stage=len(self.stages), num_vertices=num_vertices, num_edges=num_edges
+        )
+        self.stages.append(stage)
+        return stage
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall-clock time across stages."""
+        return sum(s.total_seconds for s in self.stages)
+
+    @property
+    def optimization_seconds(self) -> float:
+        """Total time in modularity optimization phases."""
+        return sum(s.optimization_seconds for s in self.stages)
+
+    @property
+    def aggregation_seconds(self) -> float:
+        """Total time in aggregation phases."""
+        return sum(s.aggregation_seconds for s in self.stages)
+
+    def optimization_fraction(self) -> float:
+        """Fraction of total time spent optimizing (paper reports ~0.7)."""
+        total = self.total_seconds
+        return self.optimization_seconds / total if total > 0 else 0.0
+
+
+class Stopwatch:
+    """Context manager that adds elapsed seconds to an attribute.
+
+    >>> stage = StageTiming(stage=0)
+    >>> with Stopwatch(stage, "optimization_seconds"):
+    ...     pass
+    """
+
+    def __init__(self, record: object, attribute: str) -> None:
+        self._record = record
+        self._attribute = attribute
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        elapsed = time.perf_counter() - self._start
+        setattr(
+            self._record,
+            self._attribute,
+            getattr(self._record, self._attribute) + elapsed,
+        )

@@ -1,0 +1,39 @@
+"""Comparator parallel Louvain implementations (Section 3 of the paper)."""
+
+from .chunked import chunked_one_level
+from .coarse import coarse_louvain, random_parts
+from .coloring import color_classes, greedy_coloring
+from .costcompare import (
+    bucketed_sweep_cycles,
+    estimate_work,
+    node_centric_sweep_cycles,
+    single_group_sweep_cycles,
+)
+from .lu_openmp import lu_louvain, lu_one_level
+from .multigpu import MultiGpuResult, cut_statistics, multigpu_louvain
+from .plm import plm_louvain, plm_one_level
+from .sortbased import sort_based_louvain, sort_kernel_cycles, sort_one_level
+from .vector_aggregate import aggregate_vectorized
+
+__all__ = [
+    "chunked_one_level",
+    "plm_louvain",
+    "plm_one_level",
+    "lu_louvain",
+    "lu_one_level",
+    "coarse_louvain",
+    "random_parts",
+    "multigpu_louvain",
+    "MultiGpuResult",
+    "cut_statistics",
+    "sort_based_louvain",
+    "sort_one_level",
+    "sort_kernel_cycles",
+    "greedy_coloring",
+    "color_classes",
+    "aggregate_vectorized",
+    "bucketed_sweep_cycles",
+    "node_centric_sweep_cycles",
+    "single_group_sweep_cycles",
+    "estimate_work",
+]

@@ -1,0 +1,100 @@
+"""Chunk-asynchronous sweep — shared by the node-centric comparators.
+
+Shared-memory fine-grained implementations (PLM [21], the per-GPU layer of
+Cheong et al. [4]) commit each vertex's move to global state immediately;
+concurrent threads read a mixture of old and new assignments.  We emulate
+that deterministically: vertices are processed in a fixed shuffled order
+in chunks of ``num_threads``; decisions within a chunk read the state
+committed by all earlier chunks, and the chunk commits together.  The
+shuffle models how hardware scheduling staggers adjacent vertices across
+threads — without it, intra-chunk neighbour pairs mutually adopt each
+other's (stale) community and quality craters, an artefact no asynchronous
+implementation exhibits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.compute_move import compute_moves_vectorized
+from ..graph.csr import CSRGraph
+
+__all__ = ["chunked_one_level"]
+
+
+def chunked_one_level(
+    graph: CSRGraph,
+    threshold: float,
+    *,
+    num_threads: int = 32,
+    shuffle_seed: int | None = 0,
+    singleton_constraint: bool = False,
+    max_inflight_fraction: float = 0.125,
+    max_sweeps: int = 1000,
+) -> tuple[np.ndarray, int]:
+    """One optimization phase with chunk-of-``num_threads`` commits.
+
+    Returns ``(communities, sweeps)``.  ``shuffle_seed=None`` keeps index
+    order (exposes the synchronous-oscillation artefact, used in tests).
+    ``max_inflight_fraction`` caps the chunk at that fraction of the
+    vertex set: real threads never hold the *entire* graph's decisions
+    stale simultaneously, so emulating more threads than vertices must
+    not degenerate into a fully synchronous sweep.
+    """
+    n = graph.num_vertices
+    k = graph.weighted_degrees
+    two_m = graph.total_weight
+    if n == 0 or two_m == 0.0:
+        return np.arange(n, dtype=np.int64), 0
+    comm = np.arange(n, dtype=np.int64)
+    volumes = k.astype(np.float64).copy()
+    sizes = np.ones(n, dtype=np.int64)
+
+    src = graph.vertex_of_edge
+    dst = graph.indices
+    w = graph.weights
+
+    def q_of(c: np.ndarray) -> float:
+        internal = float(w[c[src] == c[dst]].sum())
+        vols = np.bincount(c, weights=k, minlength=n)
+        return internal / two_m - float(np.square(vols).sum()) / (two_m * two_m)
+
+    order = np.arange(n, dtype=np.int64)
+    if shuffle_seed is not None:
+        np.random.default_rng(shuffle_seed).shuffle(order)
+
+    q = q_of(comm)
+    sweeps = 0
+    cap = max(1, int(n * max_inflight_fraction) + 1)
+    chunk = max(1, min(int(num_threads), cap))
+    while sweeps < max_sweeps:
+        sweeps += 1
+        moved = 0
+        for start in range(0, n, chunk):
+            vs = order[start : start + chunk]
+            new_comm = compute_moves_vectorized(
+                graph,
+                comm,
+                volumes,
+                sizes,
+                vs,
+                k=k,
+                singleton_constraint=singleton_constraint,
+            )
+            changed = new_comm != comm[vs]
+            if changed.any():
+                moved += int(changed.sum())
+                movers = vs[changed]
+                old = comm[movers]
+                new = new_comm[changed]
+                comm[movers] = new
+                np.add.at(volumes, old, -k[movers])
+                np.add.at(volumes, new, k[movers])
+                np.add.at(sizes, old, -1)
+                np.add.at(sizes, new, 1)
+        new_q = q_of(comm)
+        gain = new_q - q
+        q = new_q
+        if moved == 0 or gain < threshold:
+            break
+    return comm, sweeps

@@ -1,0 +1,151 @@
+"""Cost-model comparison of work-distribution strategies.
+
+The paper's central engineering claim is that scaling threads-per-vertex
+with degree (the 7-bucket scheme) load-balances skewed-degree graphs where
+node-centric assignment (all prior GPU/OpenMP implementations) stalls
+whole warps behind hub vertices.  These functions evaluate one
+modularity-optimization sweep's hashing under three strategies on the same
+cost model, so the ablation benchmark can quantify the win without running
+full solvers:
+
+* :func:`bucketed_sweep_cycles` — the paper's scheme (sub-warp groups,
+  warp, block; shared tables except the last bucket);
+* :func:`node_centric_sweep_cycles` — one thread per vertex, 32 vertices
+  per warp in index order (Forster [9] / PLM-on-GPU style);
+* :func:`single_group_sweep_cycles` — a fixed group size for every vertex
+  (what you get without binning).
+
+Hash behaviour is estimated at ``probes = ceil(1.25 * deg)`` and one
+atomic per edge — the load factor under the paper's 1.5x table sizing —
+so all strategies are charged identically per edge and differ only in
+*placement*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.buckets import degree_buckets
+from ..core.config import GPULouvainConfig
+from ..gpu.costmodel import CostModel, WorkItem, warp_schedule
+from ..graph.csr import CSRGraph
+
+__all__ = [
+    "estimate_work",
+    "bucketed_sweep_cycles",
+    "bucketed_warp_times",
+    "node_centric_sweep_cycles",
+    "single_group_sweep_cycles",
+]
+
+_PROBES_PER_EDGE = 1.25
+
+
+def estimate_work(degree: int) -> WorkItem:
+    """Estimated hash work to process one vertex of ``degree`` edges."""
+    return WorkItem(
+        edges=degree,
+        probes=int(np.ceil(_PROBES_PER_EDGE * degree)),
+        atomics=degree,
+    )
+
+
+def _vertex_cycles(
+    degrees: np.ndarray, group: int, cost_model: CostModel, *, shared: bool
+) -> np.ndarray:
+    return np.asarray(
+        [
+            cost_model.vertex_cycles(estimate_work(int(d)), group, shared=shared)
+            for d in degrees
+        ],
+        dtype=np.float64,
+    )
+
+
+def bucketed_warp_times(
+    graph: CSRGraph,
+    cost_model: CostModel,
+    config: GPULouvainConfig | None = None,
+) -> np.ndarray:
+    """Per-warp durations of one sweep under the paper's degree bucketing.
+
+    Block-wide buckets contribute one entry per occupied warp.  Feed the
+    result to :func:`repro.gpu.warp.simulate_schedule` for occupancy /
+    eligible-warp statistics.
+    """
+    from ..gpu.costmodel import warp_times
+
+    config = config or GPULouvainConfig()
+    device = cost_model.device
+    buckets = degree_buckets(
+        graph.degrees, config.degree_bucket_bounds, config.group_sizes
+    )
+    times: list[np.ndarray] = []
+    for bucket in buckets:
+        if bucket.size == 0:
+            continue
+        shared = bucket.upper != -1
+        group = max(1, bucket.group_size)
+        degs = graph.degrees[bucket.members]
+        cycles = _vertex_cycles(degs, group, cost_model, shared=shared)
+        if group <= device.warp_size:
+            times.append(warp_times(cycles, device.warp_size // group))
+        else:
+            warps_per_block = group // device.warp_size
+            times.append(np.repeat(cycles, warps_per_block))
+    if not times:
+        return np.empty(0, dtype=np.float64)
+    return np.concatenate(times)
+
+
+def bucketed_sweep_cycles(
+    graph: CSRGraph,
+    cost_model: CostModel,
+    config: GPULouvainConfig | None = None,
+) -> float:
+    """Warp-cycles of one sweep under the paper's degree bucketing."""
+    return float(bucketed_warp_times(graph, cost_model, config).sum())
+
+
+def node_centric_sweep_cycles(graph: CSRGraph, cost_model: CostModel) -> float:
+    """Warp-cycles of one sweep with one thread per vertex, index order.
+
+    Tables cannot fit per-thread in shared memory at this granularity, so
+    probes are charged at global latency — as in the OpenMP-port GPU
+    implementations the paper outperforms.
+    """
+    device = cost_model.device
+    degrees = graph.degrees[graph.degrees > 0]
+    cycles = _vertex_cycles(degrees, 1, cost_model, shared=False)
+    warp_cycles, _ = warp_schedule(cycles, device.warp_size)
+    return warp_cycles
+
+
+def single_group_sweep_cycles(
+    graph: CSRGraph, cost_model: CostModel, group: int
+) -> float:
+    """Warp-cycles of one sweep with the same ``group`` size everywhere.
+
+    A vertex's hash table lives in shared memory only when every group in
+    the block can fit its table at once (``threads_per_block / group``
+    concurrent tables of ``~1.5 * deg`` 12-byte slots) — the constraint
+    the paper's bucket boundaries are engineered to satisfy, and that a
+    one-size-fits-all grouping violates for its large vertices.
+    """
+    device = cost_model.device
+    degrees = graph.degrees[graph.degrees > 0]
+    tables_per_block = max(1, device.threads_per_block // group)
+    slots = 1.5 * degrees + 1
+    fits_shared = slots * 12 * tables_per_block <= device.shared_memory_per_block
+    cycles = np.empty(degrees.size, dtype=np.float64)
+    for shared in (True, False):
+        mask = fits_shared == shared
+        if mask.any():
+            cycles[mask] = _vertex_cycles(
+                degrees[mask], group, cost_model, shared=shared
+            )
+    if group <= device.warp_size:
+        warp_cycles, _ = warp_schedule(cycles, device.warp_size // group)
+    else:
+        warp_cycles = float(cycles.sum()) * (group // device.warp_size)
+    return warp_cycles

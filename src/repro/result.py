@@ -1,0 +1,79 @@
+"""Result types shared by every Louvain solver in this repository.
+
+All solvers (sequential baseline, GPU engines, comparators) return a
+:class:`LouvainResult` so benchmarks can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .metrics.timing import RunTimings
+
+__all__ = ["LouvainResult", "flatten_levels"]
+
+
+def flatten_levels(levels: list[np.ndarray]) -> np.ndarray:
+    """Compose per-level partitions into original-vertex -> final community.
+
+    ``levels[k]`` maps the vertices of the level-``k`` graph to the vertex
+    ids of the level-``k+1`` graph (dense labels).  The composition maps
+    each original vertex to its community in the last level.
+    """
+    if not levels:
+        raise ValueError("need at least one level")
+    membership = np.asarray(levels[0], dtype=np.int64).copy()
+    for level in levels[1:]:
+        membership = np.asarray(level, dtype=np.int64)[membership]
+    return membership
+
+
+@dataclass
+class LouvainResult:
+    """Outcome of one Louvain run (any solver).
+
+    Attributes
+    ----------
+    levels:
+        ``levels[k]`` assigns every vertex of the level-``k`` graph the
+        *dense* id of its community, which is that community's vertex id in
+        the level-``k+1`` graph.
+    level_sizes:
+        ``(num_vertices, num_edges)`` of each level's input graph.
+    membership:
+        Flat clustering: original vertex -> final community (dense labels).
+    modularity:
+        Modularity of ``membership`` on the original graph.
+    modularity_per_level:
+        Modularity after each stage completed.
+    sweeps_per_level:
+        Number of modularity-optimization sweeps each stage ran.
+    timings:
+        Per-stage wall-clock breakdown (figures 5/6).
+    """
+
+    levels: list[np.ndarray]
+    level_sizes: list[tuple[int, int]]
+    membership: np.ndarray
+    modularity: float
+    modularity_per_level: list[float] = field(default_factory=list)
+    sweeps_per_level: list[int] = field(default_factory=list)
+    timings: RunTimings = field(default_factory=RunTimings)
+
+    @property
+    def num_levels(self) -> int:
+        """Number of stages (levels of the hierarchy) executed."""
+        return len(self.levels)
+
+    @property
+    def num_communities(self) -> int:
+        """Number of communities in the final flat clustering."""
+        return int(np.unique(self.membership).size) if self.membership.size else 0
+
+    def membership_at_level(self, level: int) -> np.ndarray:
+        """Flat clustering truncated after ``level + 1`` stages."""
+        if not 0 <= level < len(self.levels):
+            raise IndexError(f"level {level} out of range")
+        return flatten_levels(self.levels[: level + 1])

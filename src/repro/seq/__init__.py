@@ -1,0 +1,6 @@
+"""Sequential Louvain baseline (Blondel et al.) and reference aggregation."""
+
+from .aggregation import aggregate
+from .louvain import louvain, one_level
+
+__all__ = ["louvain", "one_level", "aggregate"]

@@ -1,0 +1,74 @@
+"""Tests for the Table-1 analog suite."""
+
+import numpy as np
+import pytest
+
+from repro.bench.suite import SUITE, SuiteEntry, load_suite_graph, small_suite, suite_names
+from repro.graph.validation import validate
+
+
+def test_suite_has_55_rows():
+    assert len(SUITE) == 55
+
+
+def test_names_unique():
+    names = suite_names()
+    assert len(names) == len(set(names))
+
+
+def test_paper_numbers_sane():
+    for entry in SUITE:
+        assert entry.paper_vertices > 0
+        assert entry.paper_edges > 0
+        assert entry.paper_seq_seconds > 0
+        assert entry.paper_gpu_seconds > 0
+        assert entry.paper_speedup == pytest.approx(
+            entry.paper_seq_seconds / entry.paper_gpu_seconds
+        )
+
+
+def test_table_order_roughly_by_avg_degree():
+    """Table 1 orders graphs by decreasing average degree."""
+    degrees = [e.paper_avg_degree for e in SUITE]
+    # allow small local inversions (the paper's ordering has a few)
+    violations = sum(1 for a, b in zip(degrees, degrees[1:]) if b > a * 1.3)
+    assert violations <= 4
+
+
+def test_small_suite_covers_families():
+    families = {e.family for e in small_suite()}
+    assert families == {e.family for e in SUITE}
+
+
+def test_load_unknown_name():
+    with pytest.raises(KeyError):
+        load_suite_graph("no-such-graph")
+
+
+@pytest.mark.parametrize("entry", small_suite(), ids=lambda e: e.name)
+def test_family_representatives_build(entry: SuiteEntry):
+    g = entry.load()
+    validate(g)
+    assert g.num_vertices >= 64
+    assert g.num_edges >= 500
+    # average degree within a factor ~5 of the paper's graph
+    avg = 2 * g.num_edges / g.num_vertices
+    assert avg > entry.paper_avg_degree / 8
+
+
+def test_load_cached():
+    a = load_suite_graph("road_usa")
+    b = load_suite_graph("road_usa")
+    assert a is b  # lru_cache
+
+
+def test_deterministic_generation():
+    entry = next(e for e in SUITE if e.name == "cnr-2000")
+    assert entry.load() == entry.load()
+
+
+def test_scale_grows_graph():
+    entry = next(e for e in SUITE if e.name == "com-dblp")
+    small = entry.load(1.0)
+    large = entry.load(2.0)
+    assert large.num_edges > small.num_edges

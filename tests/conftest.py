@@ -1,0 +1,125 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.graph.build import from_edges
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import caveman, karate_club, lfr_like, ring
+
+
+@pytest.fixture
+def karate() -> CSRGraph:
+    """Zachary's karate club."""
+    return karate_club()
+
+
+@pytest.fixture
+def caveman_graph() -> tuple[CSRGraph, np.ndarray]:
+    """8 caves of 10 (graph, truth labels)."""
+    return caveman(8, 10)
+
+
+@pytest.fixture
+def lfr_graph() -> tuple[CSRGraph, np.ndarray]:
+    """A 400-vertex LFR-like benchmark with recoverable communities."""
+    return lfr_like(400, rng=11)
+
+
+@pytest.fixture
+def triangle() -> CSRGraph:
+    """K3."""
+    return from_edges([0, 1, 2], [1, 2, 0])
+
+
+@pytest.fixture
+def ring10() -> CSRGraph:
+    """Cycle of 10 vertices."""
+    return ring(10)
+
+
+# --------------------------------------------------------------------- #
+# Hypothesis strategies
+# --------------------------------------------------------------------- #
+@st.composite
+def edge_lists(
+    draw,
+    max_vertices: int = 24,
+    max_edges: int = 60,
+    weighted: bool = False,
+    allow_self_loops: bool = True,
+):
+    """Random (u, v, w, n) quadruples describing small undirected graphs."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    num_edges = draw(st.integers(min_value=0, max_value=max_edges))
+    us, vs, ws = [], [], []
+    for _ in range(num_edges):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        if allow_self_loops:
+            v = draw(st.integers(min_value=0, max_value=n - 1))
+        else:
+            v = draw(st.integers(min_value=0, max_value=n - 1).filter(lambda x: x != u))
+        us.append(u)
+        vs.append(v)
+        if weighted:
+            ws.append(
+                draw(
+                    st.floats(min_value=0.25, max_value=8.0, width=32)
+                )
+            )
+        else:
+            ws.append(1.0)
+    return us, vs, ws, n
+
+
+@st.composite
+def csr_graphs(
+    draw,
+    max_vertices: int = 24,
+    max_edges: int = 60,
+    weighted: bool = False,
+    allow_self_loops: bool = True,
+    min_edges: int = 0,
+):
+    """Random small canonical CSR graphs."""
+    us, vs, ws, n = draw(
+        edge_lists(
+            max_vertices=max_vertices,
+            max_edges=max_edges,
+            weighted=weighted,
+            allow_self_loops=allow_self_loops,
+        )
+    )
+    if len(us) < min_edges:
+        extra = min_edges - len(us)
+        for i in range(extra):
+            us.append(i % n)
+            vs.append((i + 1) % n)
+            ws.append(1.0)
+    return from_edges(us, vs, ws, num_vertices=n)
+
+
+@st.composite
+def partitions_of(draw, n: int):
+    """A random community labeling of n vertices (labels < n)."""
+    return np.asarray(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=max(n - 1, 0)),
+                min_size=n,
+                max_size=n,
+            )
+        ),
+        dtype=np.int64,
+    )
+
+
+@st.composite
+def graphs_with_partitions(draw, max_vertices: int = 20, max_edges: int = 50):
+    """(graph, labeling) pairs for invariance properties."""
+    graph = draw(csr_graphs(max_vertices=max_vertices, max_edges=max_edges))
+    labels = draw(partitions_of(graph.num_vertices))
+    return graph, labels

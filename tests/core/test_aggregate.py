@@ -1,0 +1,131 @@
+"""Tests for the GPU aggregation phase (Alg. 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.aggregate import aggregate_gpu
+from repro.core.config import GPULouvainConfig
+from repro.graph.build import from_edges
+from repro.graph.generators import caveman, karate_club, stencil3d
+from repro.graph.validation import validate
+from repro.metrics.modularity import modularity
+from repro.seq.aggregation import aggregate as seq_aggregate
+
+from ..conftest import graphs_with_partitions
+
+CFG = GPULouvainConfig()
+SIM = GPULouvainConfig(engine="simulated")
+
+
+def test_matches_sequential_oracle_karate():
+    g = karate_club()
+    labels = (np.arange(34) % 5).astype(np.int64)
+    gpu_out = aggregate_gpu(g, labels, CFG)
+    seq_graph, seq_dense = seq_aggregate(g, labels)
+    assert gpu_out.graph == seq_graph
+    assert np.array_equal(gpu_out.dense_map, seq_dense)
+
+
+def test_simulated_engine_same_graph():
+    g = karate_club()
+    labels = (np.arange(34) % 4).astype(np.int64)
+    vec = aggregate_gpu(g, labels, CFG)
+    sim = aggregate_gpu(g, labels, SIM)
+    assert vec.graph == sim.graph
+    assert np.array_equal(vec.dense_map, sim.dense_map)
+    assert sim.profile.kernels
+
+
+def test_modularity_invariant():
+    g = karate_club()
+    labels = (np.arange(34) % 3).astype(np.int64)
+    out = aggregate_gpu(g, labels, CFG)
+    q_before = modularity(g, labels)
+    q_after = modularity(out.graph, np.arange(out.graph.num_vertices))
+    assert q_after == pytest.approx(q_before)
+
+
+def test_empty_graph():
+    g = from_edges([], [], num_vertices=0)
+    out = aggregate_gpu(g, np.array([], dtype=np.int64), CFG)
+    assert out.graph.num_vertices == 0
+
+
+def test_isolated_vertices_kept():
+    g = from_edges([0], [1], num_vertices=4)
+    out = aggregate_gpu(g, np.array([0, 0, 2, 3]), CFG)
+    assert out.graph.num_vertices == 3  # {0,1}, {2}, {3}
+    assert out.graph.degrees.tolist()[1:] == [0, 0]
+
+
+def test_community_buckets_cover_all_sizes():
+    """Communities landing in all three work buckets produce one graph."""
+    g = stencil3d(6, 6, 6)  # interior degree 26
+    n = g.num_vertices
+    labels = np.zeros(n, dtype=np.int64)
+    labels[: n // 2] = np.arange(n // 2)  # many small communities
+    # one giant community (second half) with summed degree >> 479
+    out = aggregate_gpu(g, labels, CFG)
+    validate(out.graph)
+    seq_graph, _ = seq_aggregate(g, labels)
+    assert out.graph == seq_graph
+
+
+def test_rejects_wrong_shape():
+    g = karate_club()
+    with pytest.raises(ValueError):
+        aggregate_gpu(g, np.zeros(3, dtype=np.int64), CFG)
+
+
+def test_caveman_contraction():
+    g, labels = caveman(6, 5)
+    out = aggregate_gpu(g, labels, CFG)
+    assert out.graph.num_vertices == 6
+    validate(out.graph)
+
+
+def test_simulated_atomics_counted():
+    g = karate_club()
+    labels = (np.arange(34) % 4).astype(np.int64)
+    sim = aggregate_gpu(g, labels, SIM)
+    names = [k.name for k in sim.profile.kernels]
+    assert any("contract" in n for n in names)
+    assert any("mergeCommunity" in n for n in names)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs_with_partitions())
+def test_gpu_equals_sequential_property(data):
+    """Property: GPU aggregation == reference contraction, any partition."""
+    graph, labels = data
+    gpu_out = aggregate_gpu(graph, labels, CFG)
+    seq_graph, seq_dense = seq_aggregate(graph, labels)
+    assert gpu_out.graph == seq_graph
+    assert np.array_equal(gpu_out.dense_map, seq_dense)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs_with_partitions(max_vertices=12, max_edges=30))
+def test_simulated_equals_sequential_property(data):
+    graph, labels = data
+    sim = aggregate_gpu(graph, labels, SIM)
+    seq_graph, seq_dense = seq_aggregate(graph, labels)
+    assert sim.graph == seq_graph
+    assert np.array_equal(sim.dense_map, seq_dense)
+
+
+def test_edge_slot_allocation_accounting():
+    """Alg. 3's upper-bound edge allocation: used <= allocated, both
+    tracked per mergeCommunity launch."""
+    g = karate_club()
+    labels = (np.arange(34) % 4).astype(np.int64)
+    sim = aggregate_gpu(g, labels, SIM)
+    merges = [k for k in sim.profile.kernels if "mergeCommunity" in k.name]
+    assert merges
+    for k in merges:
+        assert 0 < k.used_edge_slots <= k.allocated_edge_slots
+        assert 0 < k.edge_slot_utilisation <= 1.0
+    # allocated = sum of member degrees over all communities = 2|E|
+    total_alloc = sum(k.allocated_edge_slots for k in merges)
+    assert total_alloc == g.num_stored_edges

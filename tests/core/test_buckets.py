@@ -1,0 +1,102 @@
+"""Tests for degree/community bucketing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buckets import bucket_index, community_buckets, degree_buckets
+from repro.core.config import DEGREE_BUCKETS, GROUP_SIZES
+from repro.graph.generators import rmat, star
+
+
+def test_bucket_index_boundaries():
+    values = np.array([1, 4, 5, 8, 9, 16, 17, 32, 33, 84, 85, 319, 320, 10_000])
+    idx = bucket_index(values, DEGREE_BUCKETS)
+    assert idx.tolist() == [0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6]
+
+
+def test_degree_buckets_partition_everything():
+    degrees = np.array([0, 1, 3, 5, 20, 100, 400])
+    buckets = degree_buckets(degrees, DEGREE_BUCKETS, GROUP_SIZES)
+    assert len(buckets) == 7
+    members = np.concatenate([b.members for b in buckets])
+    # vertex 0 (degree 0) is excluded
+    assert sorted(members.tolist()) == [1, 2, 3, 4, 5, 6]
+
+
+def test_zero_degree_vertices_in_no_bucket():
+    degrees = np.array([0, 0, 2])
+    buckets = degree_buckets(degrees, DEGREE_BUCKETS, GROUP_SIZES)
+    total = sum(b.size for b in buckets)
+    assert total == 1
+
+
+def test_bucket_metadata():
+    degrees = np.array([2, 6, 500])
+    buckets = degree_buckets(degrees, DEGREE_BUCKETS, GROUP_SIZES)
+    assert buckets[0].group_size == 4
+    assert buckets[0].upper == 4
+    assert buckets[1].group_size == 8
+    assert buckets[6].upper == -1  # unbounded
+    assert buckets[6].group_size == 128
+    assert buckets[6].members.tolist() == [2]
+
+
+def test_members_keep_index_order():
+    degrees = np.array([3, 1, 2, 4])
+    buckets = degree_buckets(degrees, DEGREE_BUCKETS, GROUP_SIZES)
+    assert buckets[0].members.tolist() == [0, 1, 2, 3]  # stable partition
+
+
+def test_vertices_subset():
+    degrees = np.array([1, 1, 1, 1])
+    buckets = degree_buckets(
+        degrees, DEGREE_BUCKETS, GROUP_SIZES, vertices=np.array([2, 0])
+    )
+    assert buckets[0].members.tolist() == [2, 0]
+
+
+def test_star_hub_goes_to_block_bucket():
+    g = star(400)
+    buckets = degree_buckets(g.degrees, DEGREE_BUCKETS, GROUP_SIZES)
+    assert 0 in buckets[6].members  # hub, degree 399 > 319
+    assert buckets[0].size == 399  # spokes
+
+
+def test_community_buckets():
+    com_deg = np.array([50, 200, 1000, 10])
+    buckets = community_buckets(np.array([0, 1, 2, 3]), com_deg, (127, 479))
+    assert buckets[0].members.tolist() == [0, 3]
+    assert buckets[1].members.tolist() == [1]
+    assert buckets[2].members.tolist() == [2]
+
+
+def test_community_buckets_subset_only():
+    com_deg = np.array([50, 200, 1000, 10])
+    buckets = community_buckets(np.array([2, 0]), com_deg, (127, 479))
+    members = np.concatenate([b.members for b in buckets])
+    assert sorted(members.tolist()) == [0, 2]
+
+
+def test_rmat_bucket_occupancy():
+    """A skewed graph populates several buckets — the paper's premise."""
+    g = rmat(11, 16, rng=0)
+    buckets = degree_buckets(g.degrees, DEGREE_BUCKETS, GROUP_SIZES)
+    non_empty = sum(1 for b in buckets if b.size)
+    assert non_empty >= 5
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=60))
+def test_bucketing_is_exact_partition(raw):
+    degrees = np.asarray(raw, dtype=np.int64)
+    buckets = degree_buckets(degrees, DEGREE_BUCKETS, GROUP_SIZES)
+    members = np.concatenate([b.members for b in buckets])
+    expected = np.flatnonzero(degrees > 0)
+    assert sorted(members.tolist()) == expected.tolist()
+    for b in buckets:
+        degs = degrees[b.members]
+        if b.upper >= 0:
+            assert np.all(degs <= b.upper)
+        assert np.all(degs > b.lower)

@@ -1,0 +1,70 @@
+"""Tests for GPULouvainConfig."""
+
+import pytest
+
+from repro.core.config import (
+    COMMUNITY_BUCKETS,
+    DEGREE_BUCKETS,
+    GROUP_SIZES,
+    GPULouvainConfig,
+)
+
+
+def test_paper_defaults():
+    cfg = GPULouvainConfig()
+    assert cfg.degree_bucket_bounds == (4, 8, 16, 32, 84, 319)
+    assert cfg.group_sizes == (4, 8, 16, 32, 32, 128, 128)
+    assert cfg.community_bucket_bounds == (127, 479)
+    assert cfg.threshold_bin == 1e-2
+    assert cfg.threshold_final == 1e-6
+    assert cfg.bin_vertex_limit == 100_000
+    assert cfg.num_degree_buckets == 7
+    assert cfg.num_community_buckets == 3
+
+
+def test_module_constants_match_defaults():
+    assert DEGREE_BUCKETS == GPULouvainConfig().degree_bucket_bounds
+    assert GROUP_SIZES == GPULouvainConfig().group_sizes
+    assert COMMUNITY_BUCKETS == GPULouvainConfig().community_bucket_bounds
+
+
+def test_threshold_for_switches_at_limit():
+    cfg = GPULouvainConfig(bin_vertex_limit=1000)
+    assert cfg.threshold_for(1001) == cfg.threshold_bin
+    assert cfg.threshold_for(1000) == cfg.threshold_final
+    assert cfg.threshold_for(10) == cfg.threshold_final
+
+
+def test_rejects_group_size_mismatch():
+    with pytest.raises(ValueError, match="group size"):
+        GPULouvainConfig(degree_bucket_bounds=(4, 8), group_sizes=(4, 8))
+
+
+def test_rejects_non_increasing_bounds():
+    with pytest.raises(ValueError, match="increasing"):
+        GPULouvainConfig(
+            degree_bucket_bounds=(8, 4), group_sizes=(4, 8, 16)
+        )
+    with pytest.raises(ValueError, match="increasing"):
+        GPULouvainConfig(community_bucket_bounds=(479, 127))
+
+
+def test_rejects_nonpositive_bounds():
+    with pytest.raises(ValueError, match="positive"):
+        GPULouvainConfig(degree_bucket_bounds=(0, 4), group_sizes=(1, 2, 4))
+
+
+def test_rejects_bad_engine():
+    with pytest.raises(ValueError, match="engine"):
+        GPULouvainConfig(engine="cuda")
+
+
+def test_rejects_inverted_thresholds():
+    with pytest.raises(ValueError, match="threshold"):
+        GPULouvainConfig(threshold_bin=1e-7, threshold_final=1e-2)
+
+
+def test_frozen():
+    cfg = GPULouvainConfig()
+    with pytest.raises(Exception):
+        cfg.engine = "simulated"

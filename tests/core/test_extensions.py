@@ -1,0 +1,227 @@
+"""Tests for the extension features: warm start, threshold schedules,
+device-memory model, and UVA what-ifs."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import GPULouvainConfig
+from repro.core.gpu_louvain import gpu_louvain
+from repro.graph.build import from_edges
+from repro.graph.generators import karate_club, lfr_like
+from repro.gpu.costmodel import CostModel, CostParameters
+from repro.gpu.device import TESLA_K40M, DeviceSpec
+
+
+# ------------------------------ warm start --------------------------- #
+def test_warm_start_reuses_partition():
+    g, _ = lfr_like(1200, rng=2)
+    cold = gpu_louvain(g, bin_vertex_limit=1_000)
+    warm = gpu_louvain(
+        g, bin_vertex_limit=1_000, initial_communities=cold.membership
+    )
+    # Warm start from the converged partition: almost no work left.
+    assert sum(warm.sweeps_per_level) <= sum(cold.sweeps_per_level)
+    assert warm.modularity >= cold.modularity - 1e-9
+
+
+def test_warm_start_after_graph_update():
+    """The dynamic-analytics scenario of the paper's introduction."""
+    g, _ = lfr_like(1200, rng=3)
+    base = gpu_louvain(g, bin_vertex_limit=1_000)
+    u, v, w = g.edge_list(unique=True)
+    rng = np.random.default_rng(0)
+    extra = 20
+    g2 = from_edges(
+        np.concatenate([u, rng.integers(0, g.num_vertices, extra)]),
+        np.concatenate([v, rng.integers(0, g.num_vertices, extra)]),
+        np.concatenate([w, np.ones(extra)]),
+        num_vertices=g.num_vertices,
+    )
+    cold = gpu_louvain(g2, bin_vertex_limit=1_000)
+    warm = gpu_louvain(
+        g2, bin_vertex_limit=1_000, initial_communities=base.membership
+    )
+    assert warm.modularity > 0.95 * cold.modularity
+    assert sum(warm.sweeps_per_level) < sum(cold.sweeps_per_level)
+
+
+def test_warm_start_validation(karate):
+    with pytest.raises(ValueError, match="one label per vertex"):
+        gpu_louvain(karate, initial_communities=np.zeros(5, dtype=np.int64))
+    with pytest.raises(ValueError, match="existing vertex ids"):
+        gpu_louvain(karate, initial_communities=np.full(34, 99, dtype=np.int64))
+    with pytest.raises(ValueError, match="existing vertex ids"):
+        gpu_louvain(karate, initial_communities=np.full(34, -1, dtype=np.int64))
+
+
+def test_warm_start_identity_is_noop_quality(karate):
+    singletons = np.arange(34, dtype=np.int64)
+    explicit = gpu_louvain(karate, initial_communities=singletons)
+    implicit = gpu_louvain(karate)
+    assert np.array_equal(explicit.membership, implicit.membership)
+
+
+# --------------------------- threshold schedule ---------------------- #
+def test_schedule_lookup():
+    cfg = GPULouvainConfig(
+        threshold_schedule=((100_000, 1e-1), (10_000, 1e-2), (1_000, 1e-4))
+    )
+    assert cfg.threshold_for(200_000) == 1e-1
+    assert cfg.threshold_for(50_000) == 1e-2
+    assert cfg.threshold_for(5_000) == 1e-4
+    assert cfg.threshold_for(500) == cfg.threshold_final
+
+
+def test_schedule_validation():
+    with pytest.raises(ValueError, match="decreasing"):
+        GPULouvainConfig(threshold_schedule=((10, 1e-2), (100, 1e-1)))
+    with pytest.raises(ValueError, match="decreasing"):
+        GPULouvainConfig(threshold_schedule=((10, 1e-2), (10, 1e-3)))
+    with pytest.raises(ValueError, match="positive"):
+        GPULouvainConfig(threshold_schedule=((10, -1e-2),))
+
+
+def test_schedule_none_falls_back_to_paper_scheme():
+    cfg = GPULouvainConfig(bin_vertex_limit=1000)
+    assert cfg.threshold_for(2000) == cfg.threshold_bin
+    assert cfg.threshold_for(999) == cfg.threshold_final
+
+
+def test_schedule_end_to_end():
+    g, _ = lfr_like(2000, rng=5)
+    fine = gpu_louvain(g, bin_vertex_limit=100_000)  # t_final everywhere
+    scheduled = gpu_louvain(
+        g,
+        threshold_schedule=((1_000, 5e-2), (200, 1e-3)),
+    )
+    assert scheduled.modularity > 0.9 * fine.modularity
+    assert scheduled.sweeps_per_level[0] <= fine.sweeps_per_level[0]
+
+
+# --------------------------- memory model ---------------------------- #
+def test_memory_required_scales():
+    small = TESLA_K40M.memory_required_bytes(1_000, 10_000)
+    large = TESLA_K40M.memory_required_bytes(1_000_000, 100_000_000)
+    assert 0 < small < large
+
+
+def test_k40m_fits_paper_graphs():
+    """12 GB held every Table-1 graph; the largest is uk-2002."""
+    assert TESLA_K40M.fits(18_520_486, 2 * 292_243_663)
+    # but would not fit a 2-billion-edge graph
+    assert not TESLA_K40M.fits(100_000_000, 4_000_000_000)
+
+
+def test_oversubscription():
+    tiny = DeviceSpec(
+        name="tiny", num_sms=1, cores_per_sm=32, clock_mhz=100.0,
+        global_memory=1024 * 1024,
+    )
+    over = tiny.oversubscription(100_000, 1_000_000)
+    assert over > 1.0
+    assert TESLA_K40M.oversubscription(1_000, 10_000) < 1e-3
+
+
+def test_uva_slowdown_bounds():
+    tiny = DeviceSpec(
+        name="tiny", num_sms=1, cores_per_sm=32, clock_mhz=100.0,
+        global_memory=1024 * 1024,
+    )
+    cm = CostModel(tiny, CostParameters(uva_multiplier=5.0))
+    assert cm.uva_slowdown(10, 10) == 1.0  # fits
+    big = cm.uva_slowdown(10_000_000, 100_000_000)
+    assert 1.0 < big <= 5.0
+    bigger = cm.uva_slowdown(100_000_000, 1_000_000_000)
+    assert bigger >= big
+
+
+def test_uva_slowdown_monotone_in_multiplier():
+    tiny = DeviceSpec(
+        name="tiny", num_sms=1, cores_per_sm=32, clock_mhz=100.0,
+        global_memory=1024,
+    )
+    low = CostModel(tiny, CostParameters(uva_multiplier=2.0))
+    high = CostModel(tiny, CostParameters(uva_multiplier=10.0))
+    assert high.uva_slowdown(10_000, 100_000) > low.uva_slowdown(10_000, 100_000)
+
+
+# ----------------------------- resolution ---------------------------- #
+def test_resolution_default_is_identity(karate):
+    a = gpu_louvain(karate)
+    b = gpu_louvain(karate, resolution=1.0)
+    assert np.array_equal(a.membership, b.membership)
+    assert a.modularity == b.modularity
+
+
+def test_resolution_controls_granularity():
+    g, _ = lfr_like(600, rng=4)
+    coarse = gpu_louvain(g, resolution=0.2)
+    default = gpu_louvain(g, resolution=1.0)
+    fine = gpu_louvain(g, resolution=4.0)
+    assert coarse.num_communities <= default.num_communities <= fine.num_communities
+    assert coarse.num_communities < fine.num_communities
+
+
+def test_resolution_zero_limit_merges_everything():
+    g, _ = lfr_like(300, rng=5)
+    result = gpu_louvain(g, resolution=1e-6)
+    assert result.num_communities == 1
+
+
+def test_resolution_validated():
+    with pytest.raises(ValueError, match="resolution"):
+        GPULouvainConfig(resolution=0.0)
+    with pytest.raises(ValueError, match="resolution"):
+        GPULouvainConfig(resolution=-1.0)
+
+
+def test_resolution_metric_consistency(karate):
+    from repro.metrics.modularity import modularity as q_of
+
+    result = gpu_louvain(karate, resolution=2.0)
+    assert q_of(karate, result.membership, resolution=2.0) == pytest.approx(
+        result.modularity
+    )
+
+
+def test_resolution_move_gain_oracle(karate):
+    """Eq. (2) with gamma equals the actual generalised-Q delta."""
+    from repro.metrics.modularity import modularity as q_of
+    from repro.metrics.modularity import move_gain
+
+    labels = np.arange(34) % 4
+    for gamma in (0.5, 2.0):
+        gain = move_gain(karate, labels, 0, 2, resolution=gamma)
+        moved = labels.copy()
+        moved[0] = 2
+        delta = q_of(karate, moved, resolution=gamma) - q_of(
+            karate, labels, resolution=gamma
+        )
+        assert gain == pytest.approx(delta, abs=1e-12)
+
+
+def test_resolution_engines_agree(karate):
+    vec = gpu_louvain(karate, resolution=2.5, engine="vectorized")
+    sim = gpu_louvain(karate, resolution=2.5, engine="simulated")
+    assert np.array_equal(vec.membership, sim.membership)
+
+
+# --------------------------- transfer model -------------------------- #
+def test_transfer_seconds():
+    assert TESLA_K40M.transfer_seconds(12_000_000_000) == pytest.approx(1.0)
+    assert TESLA_K40M.transfer_seconds(0) == 0.0
+
+
+def test_graph_transfer_uk2002_subsecond():
+    """The paper's largest run: a ~4.7 GB CSR copies in well under a second
+    of PCIe time, negligible next to its 8.21 s solve."""
+    seconds = TESLA_K40M.graph_transfer_seconds(18_520_486, 2 * 292_243_663)
+    assert 0.1 < seconds < 1.0
+
+
+def test_simulated_result_reports_transfer(karate):
+    sim = gpu_louvain(karate, engine="simulated")
+    assert sim.simulated_transfer_seconds is not None
+    assert sim.simulated_transfer_seconds > 0
+    vec = gpu_louvain(karate)
+    assert vec.simulated_transfer_seconds is None

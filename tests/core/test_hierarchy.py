@@ -1,0 +1,80 @@
+"""Tests for the dendrogram / hierarchy views."""
+
+import numpy as np
+import pytest
+
+from repro.core.gpu_louvain import gpu_louvain
+from repro.core.hierarchy import Dendrogram, best_level, cut_at_level
+from repro.graph.generators import karate_club, lfr_like
+from repro.metrics.modularity import modularity
+
+
+@pytest.fixture(scope="module")
+def karate_run():
+    g = karate_club()
+    return g, gpu_louvain(g)
+
+
+def test_from_result(karate_run):
+    g, result = karate_run
+    d = Dendrogram.from_result(g, result)
+    assert d.depth == result.num_levels
+
+
+def test_membership_levels(karate_run):
+    g, result = karate_run
+    d = Dendrogram.from_result(g, result)
+    final = d.membership()
+    assert np.array_equal(final, result.membership)
+    first = d.membership(0)
+    assert np.array_equal(first, result.levels[0])
+
+
+def test_membership_out_of_range(karate_run):
+    g, result = karate_run
+    d = Dendrogram.from_result(g, result)
+    with pytest.raises(IndexError):
+        d.membership(d.depth)
+
+
+def test_modularities_increasing(karate_run):
+    g, result = karate_run
+    d = Dendrogram.from_result(g, result)
+    values = d.modularities()
+    assert values[-1] == pytest.approx(result.modularity)
+    assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+
+def test_community_counts_decreasing(karate_run):
+    g, result = karate_run
+    d = Dendrogram.from_result(g, result)
+    counts = d.community_counts()
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+    assert counts[-1] == result.num_communities
+
+
+def test_cut_at_level(karate_run):
+    g, result = karate_run
+    for level in range(result.num_levels):
+        cut = cut_at_level(result, level)
+        assert cut.shape == (34,)
+        assert modularity(g, cut) == pytest.approx(
+            Dendrogram.from_result(g, result).modularities()[level]
+        )
+
+
+def test_best_level(karate_run):
+    g, result = karate_run
+    level = best_level(g, result)
+    d = Dendrogram.from_result(g, result)
+    values = d.modularities()
+    assert values[level] == max(values)
+
+
+def test_fine_levels_have_more_communities():
+    g, _ = lfr_like(500, rng=8)
+    result = gpu_louvain(g)
+    if result.num_levels > 1:
+        d = Dendrogram.from_result(g, result)
+        counts = d.community_counts()
+        assert counts[0] > counts[-1]

@@ -1,0 +1,188 @@
+"""Tests for the device model, atomics, cost model and profiler."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.atomics import AtomicArray
+from repro.gpu.costmodel import CostModel, CostParameters, WorkItem, warp_schedule
+from repro.gpu.device import SMALL_DEVICE, TESLA_K40M, DeviceSpec
+from repro.gpu.profiler import KernelStats, PhaseProfile, RunProfile
+
+
+# ------------------------------ device ------------------------------- #
+def test_k40m_preset():
+    assert TESLA_K40M.total_cores == 2880
+    assert TESLA_K40M.threads_per_block == 128
+    assert TESLA_K40M.clock_mhz == 745.0
+
+
+def test_cycles_to_seconds():
+    d = DeviceSpec(name="x", num_sms=1, cores_per_sm=32, clock_mhz=1000.0)
+    assert d.cycles_to_seconds(1e9) == pytest.approx(1.0)
+
+
+def test_shared_table_capacity():
+    # 48 KiB / 12 B = 4096 slots; must hold bucket 6 (deg <= 319 -> prime ~ 487)
+    assert TESLA_K40M.shared_table_capacity() == 4096
+    assert TESLA_K40M.shared_table_capacity() > 1.5 * 319
+
+
+def test_concurrent_warps():
+    assert TESLA_K40M.concurrent_warps == 60
+
+
+# ------------------------------ atomics ------------------------------ #
+def test_atomic_add_and_fetch():
+    arr = AtomicArray(np.zeros(3))
+    arr.atomic_add(1, 2.0)
+    old = arr.fetch_add(1, 3.0)
+    assert old == 2.0
+    assert arr.values[1] == 5.0
+    assert arr.stats.adds == 2
+
+
+def test_atomic_cas():
+    arr = AtomicArray(np.array([0, 7]))
+    assert arr.cas(0, 0, 5)
+    assert not arr.cas(0, 0, 9)
+    assert arr.values[0] == 5
+    assert arr.stats.cas_attempts == 2
+
+
+def test_batch_add_conflict_tracking():
+    arr = AtomicArray(np.zeros(4))
+    arr.batch_add(np.array([0, 0, 0, 2]), np.ones(4))
+    assert arr.values.tolist() == [3.0, 0.0, 1.0, 0.0]
+    assert arr.stats.max_batch_conflict == 3
+
+
+def test_batch_add_empty():
+    arr = AtomicArray(np.zeros(2))
+    arr.batch_add(np.array([], dtype=np.int64), np.array([]))
+    assert arr.stats.adds == 0
+
+
+# ----------------------------- warp_schedule ------------------------- #
+def test_warp_schedule_max_of_groups():
+    # two groups per warp: warp time is max of the pair
+    cycles, warps = warp_schedule(np.array([10.0, 4.0, 7.0, 7.0]), 2)
+    assert warps == 2
+    assert cycles == pytest.approx(10.0 + 7.0)
+
+
+def test_warp_schedule_padding():
+    cycles, warps = warp_schedule(np.array([5.0, 1.0, 9.0]), 2)
+    assert warps == 2
+    assert cycles == pytest.approx(5.0 + 9.0)
+
+
+def test_warp_schedule_empty():
+    cycles, warps = warp_schedule(np.array([]), 4)
+    assert cycles == 0.0
+    assert warps == 0
+
+
+def test_warp_schedule_balance_beats_imbalance():
+    """The bucketing thesis in miniature: balanced packing wins."""
+    skewed = np.array([100.0, 1.0, 1.0, 1.0])
+    balanced = np.array([25.75, 25.75, 25.75, 25.75])
+    t_skew, _ = warp_schedule(skewed, 4)
+    t_bal, _ = warp_schedule(balanced, 4)
+    assert t_bal < t_skew
+
+
+# ------------------------------ cost model --------------------------- #
+def test_vertex_cycles_scale_with_strides():
+    cm = CostModel()
+    w = WorkItem(edges=64, probes=80, atomics=64)
+    fast = cm.vertex_cycles(w, 32, shared=True)
+    slow = cm.vertex_cycles(w, 4, shared=True)
+    assert slow > fast  # fewer threads -> more strides -> more cycles
+
+
+def test_shared_cheaper_than_global():
+    cm = CostModel()
+    w = WorkItem(edges=16, probes=20, atomics=16)
+    assert cm.vertex_cycles(w, 8, shared=True) < cm.vertex_cycles(
+        w, 8, shared=False
+    )
+
+
+def test_zero_edge_vertex_costs_overhead_only():
+    cm = CostModel()
+    w = WorkItem(edges=0, probes=0, atomics=0)
+    assert cm.vertex_cycles(w, 1, shared=True) == pytest.approx(
+        cm.params.vertex_overhead
+    )
+
+
+def test_reduction_grows_with_group():
+    cm = CostModel()
+    w = WorkItem(edges=4, probes=4, atomics=4)
+    # same strides (4/4=1 vs 4/32->1) but bigger reduction for 32 threads
+    assert cm.vertex_cycles(w, 32, shared=True) > cm.vertex_cycles(
+        w, 4, shared=True
+    )
+
+
+def test_kernel_seconds_positive_and_monotone():
+    cm = CostModel()
+    a = cm.kernel_seconds(1e6)
+    b = cm.kernel_seconds(2e6)
+    assert 0 < a < b
+
+
+def test_custom_parameters_respected():
+    cheap = CostModel(params=CostParameters(probe_global=60.0))
+    pricey = CostModel(params=CostParameters(probe_global=600.0))
+    w = WorkItem(edges=10, probes=15, atomics=10)
+    assert pricey.vertex_cycles(w, 4, shared=False) > cheap.vertex_cycles(
+        w, 4, shared=False
+    )
+
+
+# ------------------------------ profiler ----------------------------- #
+def test_kernel_stats_merge():
+    a = KernelStats(name="k", warp_cycles=10, active_thread_cycles=5,
+                    issued_thread_cycles=20, num_warps=1)
+    b = KernelStats(name="k", warp_cycles=30, active_thread_cycles=15,
+                    issued_thread_cycles=40, num_warps=2)
+    a.merge(b)
+    assert a.warp_cycles == 40
+    assert a.num_warps == 3
+    assert a.active_thread_fraction == pytest.approx(20 / 60)
+
+
+def test_active_fraction_clamped():
+    k = KernelStats(name="k", active_thread_cycles=10, issued_thread_cycles=5)
+    assert k.active_thread_fraction == 1.0
+    empty = KernelStats(name="k")
+    assert empty.active_thread_fraction == 0.0
+
+
+def test_phase_profile_aggregation():
+    phase = PhaseProfile()
+    phase.add(KernelStats(name="a", warp_cycles=10, issued_thread_cycles=10,
+                          active_thread_cycles=5))
+    phase.add(KernelStats(name="a", warp_cycles=20, issued_thread_cycles=10,
+                          active_thread_cycles=10))
+    phase.add(KernelStats(name="b", warp_cycles=5, issued_thread_cycles=2,
+                          active_thread_cycles=1))
+    assert phase.warp_cycles == 35
+    merged = phase.by_kernel()
+    assert set(merged) == {"a", "b"}
+    assert merged["a"].warp_cycles == 30
+
+
+def test_run_profile_totals():
+    run = RunProfile()
+    p = PhaseProfile()
+    p.add(KernelStats(name="a", warp_cycles=7, issued_thread_cycles=10,
+                      active_thread_cycles=4))
+    run.optimization.append(p)
+    q = PhaseProfile()
+    q.add(KernelStats(name="b", warp_cycles=3, issued_thread_cycles=10,
+                      active_thread_cycles=8))
+    run.aggregation.append(q)
+    assert run.total_warp_cycles() == 10
+    assert run.active_thread_fraction() == pytest.approx(12 / 20)

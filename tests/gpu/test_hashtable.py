@@ -1,0 +1,163 @@
+"""Tests for the open-addressing community hash table (Alg. 2 core)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.hashtable import EMPTY, CommunityHashTable
+from repro.gpu.primes import hash_table_size
+
+
+def test_size_follows_paper_rule():
+    table = CommunityHashTable(10)
+    assert table.size == hash_table_size(10)
+
+
+def test_explicit_size_override():
+    table = CommunityHashTable(10, size=97)
+    assert table.size == 97
+
+
+def test_add_and_get():
+    table = CommunityHashTable(4)
+    table.add(3, 1.5)
+    table.add(3, 2.0)
+    table.add(9, 1.0)
+    assert table.get(3) == pytest.approx(3.5)
+    assert table.get(9) == pytest.approx(1.0)
+    assert table.get(4) == 0.0
+
+
+def test_as_dict_matches_inserts():
+    table = CommunityHashTable(6)
+    expected = {}
+    for c, w in [(1, 1.0), (5, 2.0), (1, 0.5), (12, 3.0)]:
+        table.add(c, w)
+        expected[c] = expected.get(c, 0.0) + w
+    assert table.as_dict() == pytest.approx(expected)
+
+
+def test_add_edges_batch():
+    table = CommunityHashTable(5)
+    table.add_edges(np.array([1, 1, 2]), np.array([1.0, 1.0, 4.0]))
+    assert table.get(1) == 2.0
+    assert table.get(2) == 4.0
+
+
+def test_rejects_negative_community():
+    table = CommunityHashTable(3)
+    with pytest.raises(ValueError):
+        table.add(-1, 1.0)
+
+
+def test_probe_sequence_is_double_hashing():
+    table = CommunityHashTable(4, size=7)
+    c = 10
+    h1 = c % 7
+    h2 = 1 + c % 6
+    expected = [(h1 + it * h2) % 7 for it in range(7)]
+    assert list(table.slot_sequence(c)) == expected
+
+
+def test_probe_sequence_covers_table():
+    # prime size + h2 co-prime => full cycle
+    table = CommunityHashTable(8)
+    for c in (0, 5, 100):
+        seq = list(table.slot_sequence(c))
+        assert sorted(seq) == list(range(table.size))
+
+
+def test_stats_counting():
+    table = CommunityHashTable(4)
+    table.add(1, 1.0)  # insert: 1 probe, 1 CAS
+    table.add(1, 1.0)  # accumulate: 1 probe
+    assert table.stats.inserts == 1
+    assert table.stats.accumulates == 1
+    assert table.stats.cas_attempts == 1
+    assert table.stats.probes >= 2
+    assert table.stats.max_probe_length >= 1
+
+
+def test_load_factor():
+    table = CommunityHashTable(4, size=7)
+    assert table.load_factor == 0.0
+    table.add(1, 1.0)
+    table.add(2, 1.0)
+    assert table.load_factor == pytest.approx(2 / 7)
+
+
+def test_collision_resolution_distinct_slots():
+    table = CommunityHashTable(2, size=5)
+    # communities 0 and 5 share h1 = 0 but must land in distinct slots
+    table.add(0, 1.0)
+    table.add(5, 2.0)
+    assert table.get(0) == 1.0
+    assert table.get(5) == 2.0
+    occupied = (table.comm != EMPTY).sum()
+    assert occupied == 2
+
+
+def test_items_returns_all_entries():
+    table = CommunityHashTable(6)
+    for c in (2, 4, 8):
+        table.add(c, float(c))
+    assert sorted(table.items()) == [(2, 2.0), (4, 4.0), (8, 8.0)]
+
+
+def test_argmax_by_score():
+    table = CommunityHashTable(6)
+    table.add(2, 5.0)
+    table.add(7, 5.0)
+    table.add(3, 1.0)
+    best = table.argmax_by(lambda c, w: w)
+    # tie on weight 5.0 -> lowest community id wins
+    assert best == (2, 5.0)
+
+
+def test_argmax_empty_table():
+    assert CommunityHashTable(3).argmax_by(lambda c, w: w) is None
+
+
+def test_stats_merge():
+    a = CommunityHashTable(3)
+    b = CommunityHashTable(3)
+    a.add(1, 1.0)
+    b.add(2, 1.0)
+    b.add(2, 1.0)
+    a.stats.merge(b.stats)
+    assert a.stats.inserts == 2
+    assert a.stats.accumulates == 1
+
+
+@settings(max_examples=100)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=50),
+            st.floats(min_value=0.125, max_value=10, width=32),
+        ),
+        min_size=0,
+        max_size=40,
+    )
+)
+def test_matches_dict_oracle(edges):
+    """Property: the table always agrees with a plain dict accumulator."""
+    table = CommunityHashTable(max(len(edges), 1))
+    oracle: dict[int, float] = {}
+    for c, w in edges:
+        table.add(c, float(w))
+        oracle[c] = oracle.get(c, 0.0) + float(w)
+    assert table.as_dict() == pytest.approx(oracle)
+    for c in range(51):
+        assert table.get(c) == pytest.approx(oracle.get(c, 0.0))
+
+
+@settings(max_examples=50)
+@given(st.integers(min_value=1, max_value=64))
+def test_never_overflows_at_paper_sizing(degree):
+    """1.5x prime sizing always fits `degree` distinct communities."""
+    table = CommunityHashTable(degree)
+    for c in range(degree):
+        table.add(c, 1.0)
+    assert len(table.items()) == degree

@@ -1,0 +1,46 @@
+"""Tests for repro.gpu.primes."""
+
+import numpy as np
+
+from repro.gpu.primes import hash_table_size, next_prime_above, primes_up_to
+
+
+def test_primes_up_to_small():
+    assert primes_up_to(13).tolist() == [2, 3, 5, 7, 11, 13]
+
+
+def test_primes_up_to_grows_cache():
+    primes = primes_up_to(1000)
+    assert primes[-1] == 997
+    assert primes.size == 168
+
+
+def test_primes_are_prime():
+    for p in primes_up_to(500).tolist():
+        assert all(p % d for d in range(2, int(p**0.5) + 1))
+
+
+def test_next_prime_above():
+    assert next_prime_above(1) == 2
+    assert next_prime_above(2) == 3
+    assert next_prime_above(10) == 11
+    assert next_prime_above(13) == 17
+    assert next_prime_above(100) == 101
+
+
+def test_hash_table_size_rule():
+    # smallest prime > 1.5 * degree
+    assert hash_table_size(2) == 5  # 1.5*2=3 -> >3 is 5
+    assert hash_table_size(4) == 7
+    assert hash_table_size(10) == 17
+    assert hash_table_size(100) == 151
+
+
+def test_hash_table_size_min():
+    assert hash_table_size(0) >= 3
+    assert hash_table_size(1) >= 3
+
+
+def test_hash_table_size_always_exceeds_degree():
+    for deg in range(1, 400):
+        assert hash_table_size(deg) > deg

@@ -1,0 +1,138 @@
+"""Tests for the Thrust-analog primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import karate_club
+from repro.gpu.thrust import (
+    exclusive_scan,
+    gather_rows,
+    inclusive_scan,
+    partition,
+    reduce_by_key,
+    stable_sort_by_key,
+)
+
+
+def test_exclusive_scan():
+    out = exclusive_scan(np.array([3, 1, 4]))
+    assert out.tolist() == [0, 3, 4, 8]
+
+
+def test_exclusive_scan_empty():
+    assert exclusive_scan(np.array([])).tolist() == [0]
+
+
+def test_inclusive_scan():
+    assert inclusive_scan(np.array([3, 1, 4])).tolist() == [3, 4, 8]
+
+
+def test_partition_stable():
+    values = np.array([5, 2, 8, 1, 9, 4])
+    reordered, count = partition(values, values > 4)
+    assert count == 3
+    assert reordered.tolist() == [5, 8, 9, 2, 1, 4]  # both halves keep order
+
+
+def test_partition_all_true():
+    values = np.array([1, 2])
+    reordered, count = partition(values, np.array([True, True]))
+    assert count == 2
+    assert reordered.tolist() == [1, 2]
+
+
+def test_partition_shape_mismatch():
+    with pytest.raises(ValueError):
+        partition(np.array([1, 2]), np.array([True]))
+
+
+def test_stable_sort_by_key():
+    keys = np.array([2, 1, 2, 0])
+    vals = np.array([10, 20, 30, 40])
+    k, v = stable_sort_by_key(keys, vals)
+    assert k.tolist() == [0, 1, 2, 2]
+    assert v.tolist() == [40, 20, 10, 30]  # equal keys keep input order
+
+
+def test_stable_sort_multiple_values():
+    keys = np.array([1, 0])
+    a = np.array([5, 6])
+    b = np.array([7.0, 8.0])
+    k, a2, b2 = stable_sort_by_key(keys, a, b)
+    assert a2.tolist() == [6, 5]
+    assert b2.tolist() == [8.0, 7.0]
+
+
+def test_reduce_by_key():
+    keys = np.array([0, 0, 1, 3, 3, 3])
+    vals = np.array([1.0, 2.0, 5.0, 1.0, 1.0, 1.0])
+    uk, sums = reduce_by_key(keys, vals)
+    assert uk.tolist() == [0, 1, 3]
+    assert sums.tolist() == [3.0, 5.0, 3.0]
+
+
+def test_reduce_by_key_empty():
+    uk, sums = reduce_by_key(np.array([]), np.array([]))
+    assert uk.size == 0
+    assert sums.size == 0
+
+
+def test_gather_rows_karate():
+    g = karate_club()
+    vertices = np.array([0, 33, 5])
+    edge_pos, owner = gather_rows(g.indptr, vertices)
+    assert edge_pos.size == g.degrees[vertices].sum()
+    # edges of vertex 0 come first
+    assert np.all(owner[: g.degrees[0]] == 0)
+    # gathered positions index the right rows
+    expected = np.concatenate(
+        [np.arange(g.indptr[v], g.indptr[v + 1]) for v in vertices]
+    )
+    assert edge_pos.tolist() == expected.tolist()
+
+
+def test_gather_rows_empty_selection():
+    g = karate_club()
+    edge_pos, owner = gather_rows(g.indptr, np.array([], dtype=np.int64))
+    assert edge_pos.size == 0
+    assert owner.size == 0
+
+
+def test_gather_rows_isolated_vertices():
+    indptr = np.array([0, 0, 2, 2])  # vertices 0 and 2 isolated
+    edge_pos, owner = gather_rows(indptr, np.array([0, 1, 2]))
+    assert edge_pos.tolist() == [0, 1]
+    assert owner.tolist() == [1, 1]
+
+
+@settings(max_examples=60)
+@given(st.lists(st.integers(min_value=0, max_value=50), min_size=0, max_size=30))
+def test_exclusive_scan_property(values):
+    arr = np.asarray(values, dtype=np.int64)
+    out = exclusive_scan(arr)
+    assert out[-1] == arr.sum()
+    assert np.all(np.diff(out) == arr)
+
+
+@settings(max_examples=60)
+@given(
+    st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=40),
+)
+def test_reduce_by_key_property(raw_keys):
+    keys = np.sort(np.asarray(raw_keys, dtype=np.int64))
+    vals = np.ones(keys.size)
+    uk, sums = reduce_by_key(keys, vals)
+    assert sums.sum() == keys.size
+    assert np.array_equal(uk, np.unique(keys))
+
+
+@settings(max_examples=60)
+@given(st.lists(st.integers(min_value=-20, max_value=20), min_size=0, max_size=40))
+def test_partition_preserves_multiset(values):
+    arr = np.asarray(values, dtype=np.int64)
+    reordered, count = partition(arr, arr >= 0)
+    assert sorted(reordered.tolist()) == sorted(values)
+    assert np.all(reordered[:count] >= 0)
+    assert np.all(reordered[count:] < 0)

@@ -1,0 +1,93 @@
+"""Tests for the discrete warp-scheduler simulation."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.costmodel import warp_times
+from repro.gpu.device import SMALL_DEVICE, TESLA_K40M
+from repro.gpu.warp import ScheduleOutcome, simulate_schedule
+
+
+def test_empty_schedule():
+    out = simulate_schedule(np.array([]))
+    assert out.cycles == 0.0
+    assert out.mean_eligible_warps == 0.0
+
+
+def test_zero_work_filtered():
+    out = simulate_schedule(np.array([0.0, 0.0]))
+    assert out.cycles == 0.0
+
+
+def test_single_warp_runs_to_completion():
+    out = simulate_schedule(np.array([1000.0]), slice_cycles=100.0)
+    assert out.cycles >= 1000.0
+    assert out.mean_resident_warps <= 1.0 + 1e-9
+
+
+def test_many_warps_keep_schedulers_fed():
+    heavy = simulate_schedule(np.full(4000, 500.0))
+    scarce = simulate_schedule(np.full(16, 500.0))
+    assert heavy.mean_eligible_warps > scarce.mean_eligible_warps
+    assert heavy.sm_utilisation > scarce.sm_utilisation
+    assert not heavy.starved
+    assert scarce.starved
+
+
+def test_more_work_more_cycles():
+    short = simulate_schedule(np.full(500, 200.0))
+    long = simulate_schedule(np.full(500, 2000.0))
+    assert long.cycles > short.cycles
+
+
+def test_tail_warp_extends_schedule():
+    uniform = simulate_schedule(np.full(600, 300.0))
+    with_tail = simulate_schedule(
+        np.concatenate([np.full(599, 300.0), [30000.0]])
+    )
+    assert with_tail.cycles > uniform.cycles
+
+
+def test_stall_fraction_lowers_eligibility():
+    calm = simulate_schedule(np.full(2000, 400.0), stall_fraction=0.1, rng=0)
+    stormy = simulate_schedule(np.full(2000, 400.0), stall_fraction=0.8, rng=0)
+    assert calm.mean_eligible_warps > stormy.mean_eligible_warps
+
+
+def test_smaller_device_longer_schedule():
+    work = np.full(1000, 400.0)
+    big = simulate_schedule(work, TESLA_K40M)
+    small = simulate_schedule(work, SMALL_DEVICE)
+    assert small.cycles > big.cycles
+
+
+def test_deterministic_given_rng():
+    work = np.full(300, 777.0)
+    a = simulate_schedule(work, rng=42)
+    b = simulate_schedule(work, rng=42)
+    assert a == b
+
+
+def test_resident_warps_capped():
+    out = simulate_schedule(np.full(100_000, 100.0), TESLA_K40M)
+    assert out.mean_resident_warps <= TESLA_K40M.max_resident_warps_per_sm
+
+
+# ------------------------- warp_times helper -------------------------- #
+def test_warp_times_packing():
+    times = warp_times(np.array([10.0, 4.0, 7.0, 7.0, 2.0]), 2)
+    assert times.tolist() == [10.0, 7.0, 2.0]
+
+
+def test_warp_times_empty():
+    assert warp_times(np.array([]), 4).size == 0
+
+
+def test_warp_times_matches_schedule_sum():
+    from repro.gpu.costmodel import warp_schedule
+
+    cycles = np.array([5.0, 9.0, 1.0, 3.0, 8.0])
+    total, count = warp_schedule(cycles, 2)
+    times = warp_times(cycles, 2)
+    assert total == pytest.approx(times.sum())
+    assert count == times.size

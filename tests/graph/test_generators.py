@@ -1,0 +1,249 @@
+"""Tests for repro.graph.generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.validation import validate
+
+
+def test_ring():
+    g = gen.ring(5)
+    assert g.num_vertices == 5
+    assert g.num_edges == 5
+    assert set(g.degrees.tolist()) == {2}
+    validate(g)
+
+
+def test_ring_too_small():
+    with pytest.raises(ValueError):
+        gen.ring(2)
+
+
+def test_path():
+    g = gen.path(4)
+    assert g.num_edges == 3
+    assert g.degrees.tolist() == [1, 2, 2, 1]
+
+
+def test_star():
+    g = gen.star(6)
+    assert g.degrees[0] == 5
+    assert set(g.degrees[1:].tolist()) == {1}
+
+
+def test_complete():
+    g = gen.complete(5)
+    assert g.num_edges == 10
+    assert set(g.degrees.tolist()) == {4}
+
+
+def test_binary_tree():
+    g = gen.binary_tree(3)
+    assert g.num_vertices == 7
+    assert g.num_edges == 6
+    assert g.degrees[0] == 2
+
+
+def test_grid2d():
+    g = gen.grid2d(3, 4)
+    assert g.num_vertices == 12
+    assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+    validate(g)
+
+
+def test_grid2d_diagonal():
+    plain = gen.grid2d(3, 3)
+    diag = gen.grid2d(3, 3, diagonal=True)
+    assert diag.num_edges == plain.num_edges + 4
+
+
+def test_lattice3d():
+    g = gen.lattice3d(3, 3, 3)
+    assert g.num_vertices == 27
+    # interior vertex has 6 neighbours
+    assert g.degrees.max() == 6
+    validate(g)
+
+
+def test_stencil3d_interior_degree():
+    g = gen.stencil3d(5, 5, 5)
+    assert g.degrees.max() == 26
+    validate(g)
+
+
+def test_stencil3d_radius2():
+    g = gen.stencil3d_radius(7, 7, 7, radius=2)
+    assert g.degrees.max() == 124
+
+
+def test_stencil3d_radius_invalid():
+    with pytest.raises(ValueError):
+        gen.stencil3d_radius(3, 3, 3, radius=0)
+
+
+def test_kkt_like_two_blocks():
+    g = gen.kkt_like(4, 4, 4, rng=0)
+    assert g.num_vertices == 2 * 64
+    validate(g)
+
+
+def test_road_grid_degree_profile():
+    g = gen.road_grid(30, 30, rng=0)
+    assert g.num_vertices <= 900
+    assert g.degrees.max() <= 8
+    assert 1.5 < 2 * g.num_edges / g.num_vertices < 4.5
+    validate(g)
+
+
+def test_random_geometric():
+    g = gen.random_geometric(300, 0.12, rng=1)
+    assert g.num_vertices > 200  # largest component keeps most vertices
+    validate(g)
+
+
+def test_delaunay_graph():
+    g = gen.delaunay_graph(200, rng=2)
+    assert g.num_vertices == 200
+    # planar triangulation: E <= 3n - 6
+    assert g.num_edges <= 3 * 200 - 6
+    validate(g)
+
+
+def test_barabasi_albert_sizes():
+    g = gen.barabasi_albert(200, 3, rng=3)
+    assert g.num_vertices == 200
+    # every non-seed vertex brings m edges (merges can only reduce)
+    assert g.num_edges <= 3 * 197
+    assert g.num_edges >= 3 * 197 * 0.9
+    validate(g)
+
+
+def test_barabasi_albert_skewed():
+    g = gen.barabasi_albert(500, 2, rng=4)
+    assert g.degrees.max() > 5 * np.median(g.degrees)
+
+
+def test_barabasi_albert_invalid():
+    with pytest.raises(ValueError):
+        gen.barabasi_albert(3, 3)
+
+
+def test_rmat_sizes():
+    g = gen.rmat(8, 8, rng=5)
+    assert g.num_vertices <= 2**8
+    assert g.num_edges > 2**8
+    validate(g)
+
+
+def test_rmat_skewed_degrees():
+    g = gen.rmat(10, 8, rng=6)
+    assert g.degrees.max() > 10 * np.median(g.degrees)
+
+
+def test_rmat_invalid_probs():
+    with pytest.raises(ValueError):
+        gen.rmat(5, 4, a=0.5, b=0.4, c=0.3)
+
+
+def test_planted_partition_returns_truth():
+    g, labels = gen.planted_partition(4, 20, 0.5, 0.01, rng=7)
+    assert g.num_vertices == 80
+    assert labels.shape == (80,)
+    assert np.unique(labels).size == 4
+    validate(g)
+
+
+def test_planted_partition_density_ordering():
+    g, labels = gen.planted_partition(4, 20, 0.6, 0.02, rng=8)
+    src = g.vertex_of_edge
+    intra = (labels[src] == labels[g.indices]).mean()
+    assert intra > 0.5  # intra-community edges dominate
+
+
+def test_lfr_like():
+    g, labels = gen.lfr_like(400, rng=9)
+    assert g.num_vertices == 400
+    assert labels.shape == (400,)
+    assert np.unique(labels).size >= 2
+    validate(g)
+
+
+def test_lfr_community_sizes_skewed():
+    _, labels = gen.lfr_like(2000, rng=10, min_community=16)
+    sizes = np.bincount(labels)
+    assert sizes.max() >= 2 * sizes.min()
+
+
+def test_clique_overlap():
+    g = gen.clique_overlap(50, rng=11)
+    assert g.num_vertices > 10
+    validate(g)
+
+
+def test_caveman():
+    g, labels = gen.caveman(5, 6)
+    assert g.num_vertices == 30
+    assert np.unique(labels).size == 5
+    # each cave is a clique: internal degree >= cave_size - 1
+    assert g.degrees.min() >= 4
+    validate(g)
+
+
+def test_karate_club():
+    g = gen.karate_club()
+    assert g.num_vertices == 34
+    assert g.num_edges == 78
+    validate(g)
+
+
+def test_with_random_weights():
+    g = gen.with_random_weights(gen.ring(6), rng=12, low=2.0, high=3.0)
+    assert g.num_edges == 6
+    assert np.all(g.weights >= 2.0)
+    assert np.all(g.weights < 3.0)
+
+
+def test_generators_deterministic():
+    a = gen.rmat(7, 4, rng=42)
+    b = gen.rmat(7, 4, rng=42)
+    assert a == b
+    c, lc = gen.lfr_like(100, rng=42)
+    d, ld = gen.lfr_like(100, rng=42)
+    assert c == d
+    assert np.array_equal(lc, ld)
+
+
+def test_as_rng_passthrough():
+    rng = np.random.default_rng(0)
+    assert gen.as_rng(rng) is rng
+    assert isinstance(gen.as_rng(5), np.random.Generator)
+    assert isinstance(gen.as_rng(None), np.random.Generator)
+
+
+def test_social_network_structure():
+    g = gen.social_network(800, 6, rng=13)
+    assert g.num_vertices > 600
+    validate(g)
+    # heavy tail AND strong communities
+    assert g.degrees.max() > 4 * np.median(g.degrees)
+    from repro.seq.louvain import louvain
+    assert louvain(g).modularity > 0.45
+
+
+def test_social_network_mixing_effect():
+    tight = gen.social_network(600, 5, rng=14, mixing=0.05)
+    loose = gen.social_network(600, 5, rng=14, mixing=0.6)
+    from repro.seq.louvain import louvain
+    assert louvain(tight).modularity > louvain(loose).modularity
+
+
+def test_social_network_invalid():
+    with pytest.raises(ValueError):
+        gen.social_network(5, 5)
+
+
+def test_clique_overlap_has_communities():
+    g = gen.clique_overlap(400, rng=15, mean_group_size=10)
+    from repro.seq.louvain import louvain
+    assert louvain(g).modularity > 0.4

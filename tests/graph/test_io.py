@@ -1,0 +1,91 @@
+"""Tests for repro.graph.io."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import from_edges
+from repro.graph.generators import karate_club, ring
+from repro.graph.io import (
+    load_graph,
+    read_edge_list,
+    read_matrix_market,
+    read_metis,
+    write_edge_list,
+    write_matrix_market,
+    write_metis,
+)
+
+
+@pytest.fixture
+def weighted_graph():
+    return from_edges([0, 1, 2, 0], [1, 2, 3, 0], [1.5, 2.0, 0.5, 3.0])
+
+
+def test_edge_list_roundtrip(tmp_path, weighted_graph):
+    path = tmp_path / "g.txt"
+    write_edge_list(weighted_graph, path)
+    assert read_edge_list(path) == weighted_graph
+
+
+def test_edge_list_roundtrip_karate(tmp_path):
+    path = tmp_path / "karate.txt"
+    g = karate_club()
+    write_edge_list(g, path)
+    assert read_edge_list(path) == g
+
+
+def test_edge_list_skips_comments(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("# comment\n% other comment\n0 1\n\n1 2 2.5\n")
+    g = read_edge_list(path)
+    assert g.num_edges == 2
+    assert g.neighbor_weights(1).tolist() == [1.0, 2.5]
+
+
+def test_metis_roundtrip(tmp_path, weighted_graph):
+    path = tmp_path / "g.graph"
+    write_metis(weighted_graph, path)
+    assert read_metis(path) == weighted_graph
+
+
+def test_metis_unweighted(tmp_path):
+    path = tmp_path / "g.graph"
+    path.write_text("3 2\n2\n1 3\n2\n")
+    g = read_metis(path)
+    assert g.num_vertices == 3
+    assert g.num_edges == 2
+    assert np.all(g.weights == 1.0)
+
+
+def test_metis_skips_comment_lines(tmp_path):
+    path = tmp_path / "g.graph"
+    path.write_text("% header comment\n2 1\n2\n1\n")
+    g = read_metis(path)
+    assert g.num_edges == 1
+
+
+def test_matrix_market_roundtrip(tmp_path, weighted_graph):
+    path = tmp_path / "g.mtx"
+    write_matrix_market(weighted_graph, path)
+    assert read_matrix_market(path) == weighted_graph
+
+
+def test_load_graph_dispatch(tmp_path):
+    g = ring(5)
+    for name in ("a.txt", "a.graph", "a.mtx"):
+        path = tmp_path / name
+        if name.endswith(".txt"):
+            write_edge_list(g, path)
+        elif name.endswith(".graph"):
+            write_metis(g, path)
+        else:
+            write_matrix_market(g, path)
+        assert load_graph(path) == g
+
+
+def test_edge_list_header_written(tmp_path, weighted_graph):
+    path = tmp_path / "g.txt"
+    write_edge_list(weighted_graph, path)
+    first = path.read_text().splitlines()[0]
+    assert first.startswith("#")
+    assert "vertices 4" in first

@@ -1,0 +1,59 @@
+"""Tests for repro.graph.validation."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import karate_club
+from repro.graph.validation import (
+    check_no_parallel_edges,
+    check_sorted_rows,
+    check_symmetric,
+    validate,
+)
+
+
+def _raw(indptr, indices, weights):
+    return CSRGraph(
+        indptr=np.asarray(indptr),
+        indices=np.asarray(indices),
+        weights=np.asarray(weights, dtype=float),
+    )
+
+
+def test_validate_passes_on_canonical():
+    validate(karate_club())
+
+
+def test_asymmetric_detected():
+    g = _raw([0, 1, 1], [1], [1.0])  # edge 0->1 without reverse
+    with pytest.raises(AssertionError, match="symmetric"):
+        check_symmetric(g)
+
+
+def test_asymmetric_weights_detected():
+    g = _raw([0, 1, 2], [1, 0], [1.0, 2.0])
+    with pytest.raises(AssertionError, match="symmetric"):
+        check_symmetric(g)
+
+
+def test_unsorted_rows_detected():
+    g = _raw([0, 2, 3, 4], [2, 1, 0, 0], [1.0, 1.0, 1.0, 1.0])
+    with pytest.raises(AssertionError, match="sorted"):
+        check_sorted_rows(g)
+
+
+def test_parallel_edges_detected():
+    g = _raw([0, 2, 4], [1, 1, 0, 0], [1.0, 1.0, 1.0, 1.0])
+    with pytest.raises(AssertionError, match="parallel"):
+        check_no_parallel_edges(g)
+
+
+def test_self_loop_is_fine():
+    g = _raw([0, 1], [0], [2.0])
+    validate(g)
+
+
+def test_empty_graph_is_fine():
+    g = _raw([0, 0, 0], [], [])
+    validate(g)

@@ -1,0 +1,164 @@
+"""Tests for repro.metrics.modularity — Eq. (1) and Eq. (2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graph.build import from_edges
+from repro.graph.generators import caveman, complete, karate_club, ring
+from repro.metrics.modularity import (
+    community_internal_weights,
+    community_volumes,
+    modularity,
+    move_gain,
+    vertex_to_community_weights,
+)
+
+from ..conftest import graphs_with_partitions
+
+
+def test_single_community_modularity_zero():
+    # All vertices together: internal = 2m, a = 2m -> Q = 1 - 1 = 0.
+    g = complete(5)
+    q = modularity(g, np.zeros(5, dtype=np.int64))
+    assert q == pytest.approx(0.0)
+
+
+def test_singletons_on_complete_graph_negative():
+    g = complete(5)
+    q = modularity(g, np.arange(5))
+    assert q < 0
+
+
+def test_two_cliques_high_modularity():
+    g, labels = caveman(2, 8)
+    q = modularity(g, labels)
+    assert q > 0.4
+
+
+def test_karate_known_value(karate):
+    # The standard Louvain partition of karate scores ~0.41-0.42.
+    labels = np.zeros(34, dtype=np.int64)
+    # ground-truth split (instructor vs president factions)
+    president = [8, 9, 14, 15, 18, 20, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32, 33]
+    labels[president] = 1
+    q = modularity(karate, labels)
+    assert q == pytest.approx(0.3715, abs=1e-3)
+
+
+def test_matches_networkx(karate):
+    nx = pytest.importorskip("networkx")
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(34))
+    u, v, _ = karate.edge_list(unique=True)
+    nxg.add_edges_from(zip(u.tolist(), v.tolist()))
+    rng = np.random.default_rng(3)
+    for _ in range(5):
+        labels = rng.integers(0, 4, size=34)
+        comms = [set(np.flatnonzero(labels == c).tolist()) for c in range(4)]
+        comms = [c for c in comms if c]
+        expected = nx.algorithms.community.modularity(nxg, comms)
+        assert modularity(karate, labels) == pytest.approx(expected)
+
+
+def test_weighted_modularity_scale_invariant(karate):
+    u, v, w = karate.edge_list(unique=True)
+    doubled = from_edges(u, v, 2.0 * w, num_vertices=34)
+    labels = np.arange(34) % 3
+    assert modularity(doubled, labels) == pytest.approx(modularity(karate, labels))
+
+
+def test_empty_graph_modularity():
+    g = from_edges([], [], num_vertices=3)
+    assert modularity(g, np.zeros(3, dtype=np.int64)) == 0.0
+
+
+def test_self_loop_included_in_own_community():
+    g = from_edges([0, 0], [0, 1], [1.0, 1.0])
+    labels = np.array([0, 1])
+    internal = community_internal_weights(g, labels)
+    assert internal.tolist() == [1.0, 0.0]
+
+
+def test_community_volumes():
+    g = from_edges([0, 1], [1, 2], [2.0, 3.0])
+    labels = np.array([0, 0, 1])
+    vols = community_volumes(g, labels)
+    assert vols.tolist() == [2.0 + 5.0, 3.0]
+
+
+def test_internal_weights_count_both_directions():
+    g = from_edges([0], [1], [2.0])
+    labels = np.array([0, 0])
+    assert community_internal_weights(g, labels).tolist() == [4.0]
+
+
+def test_partition_shape_checked(karate):
+    with pytest.raises(ValueError, match="one label per vertex"):
+        modularity(karate, np.zeros(3))
+    with pytest.raises(ValueError, match="non-negative"):
+        modularity(karate, -np.ones(34, dtype=np.int64))
+
+
+def test_vertex_to_community_weights(karate):
+    labels = np.arange(34) % 5
+    weights = vertex_to_community_weights(karate, 0, labels)
+    expected = {}
+    for nb, w in zip(karate.neighbors(0), karate.neighbor_weights(0)):
+        expected[labels[nb]] = expected.get(labels[nb], 0.0) + w
+    assert weights == pytest.approx(expected)
+
+
+def test_move_gain_matches_q_difference(karate):
+    """Eq. (2) must equal the actual modularity difference of the move."""
+    labels = np.arange(34) % 4
+    for vertex in (0, 5, 33):
+        for target in range(4):
+            before = modularity(karate, labels)
+            moved = labels.copy()
+            moved[vertex] = target
+            after = modularity(karate, moved)
+            gain = move_gain(karate, labels, vertex, target)
+            assert gain == pytest.approx(after - before, abs=1e-12)
+
+
+def test_move_gain_same_community_zero(karate):
+    labels = np.zeros(34, dtype=np.int64)
+    assert move_gain(karate, labels, 0, 0) == 0.0
+
+
+@settings(max_examples=60)
+@given(graphs_with_partitions())
+def test_modularity_bounded(data):
+    graph, labels = data
+    q = modularity(graph, labels)
+    assert -1.0 <= q <= 1.0
+
+
+@settings(max_examples=60)
+@given(graphs_with_partitions())
+def test_move_gain_is_exact_q_delta(data):
+    """Property: Eq. (2) == Q(after) - Q(before) for arbitrary moves."""
+    graph, labels = data
+    if graph.num_vertices == 0 or graph.m == 0:
+        return
+    vertex = 0
+    target = int(labels.max())
+    before = modularity(graph, labels)
+    moved = labels.copy()
+    moved[vertex] = target
+    after = modularity(graph, moved)
+    assert move_gain(graph, labels, vertex, target) == pytest.approx(
+        after - before, abs=1e-9
+    )
+
+
+@settings(max_examples=40)
+@given(graphs_with_partitions())
+def test_internal_plus_external_is_total(data):
+    graph, labels = data
+    internal = community_internal_weights(graph, labels).sum()
+    src = labels[graph.vertex_of_edge]
+    dst = labels[graph.indices]
+    external = graph.weights[src != dst].sum()
+    assert internal + external == pytest.approx(graph.total_weight)

@@ -1,0 +1,114 @@
+"""Tests for coverage / performance / conductance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graph.build import from_edges
+from repro.graph.generators import caveman, complete, karate_club
+from repro.metrics.partition_measures import (
+    conductance,
+    coverage,
+    performance,
+    worst_conductance,
+)
+
+from ..conftest import graphs_with_partitions
+
+
+def test_coverage_all_in_one(karate):
+    assert coverage(karate, np.zeros(34, dtype=np.int64)) == pytest.approx(1.0)
+
+
+def test_coverage_singletons_zero(karate):
+    # no self-loops in karate: no internal weight at all
+    assert coverage(karate, np.arange(34)) == pytest.approx(0.0)
+
+
+def test_coverage_caveman_high():
+    g, labels = caveman(6, 8)
+    assert coverage(g, labels) > 0.9
+
+
+def test_coverage_empty_graph():
+    g = from_edges([], [], num_vertices=3)
+    assert coverage(g, np.zeros(3, dtype=np.int64)) == 1.0
+
+
+def test_performance_perfect_on_disjoint_cliques():
+    # two disconnected triangles, perfectly classified
+    g = from_edges([0, 0, 1, 3, 3, 4], [1, 2, 2, 4, 5, 5])
+    labels = np.array([0, 0, 0, 1, 1, 1])
+    assert performance(g, labels) == pytest.approx(1.0)
+
+
+def test_performance_all_in_one_on_sparse_graph():
+    # everything joined: only adjacent pairs count as correct
+    g = from_edges([0], [1], num_vertices=4)
+    labels = np.zeros(4, dtype=np.int64)
+    assert performance(g, labels) == pytest.approx(1 / 6)
+
+
+def test_performance_single_vertex():
+    g = from_edges([], [], num_vertices=1)
+    assert performance(g, np.zeros(1, dtype=np.int64)) == 1.0
+
+
+def test_conductance_isolated_community_zero():
+    g = from_edges([0], [1], num_vertices=3)
+    labels = np.array([0, 0, 1])
+    phi = conductance(g, labels)
+    assert phi[0] == 0.0  # no cut edges
+    assert phi[1] == 0.0  # zero volume
+
+
+def test_conductance_split_edge():
+    # one edge cut between two singleton communities: phi = 1 both sides
+    g = from_edges([0], [1])
+    phi = conductance(g, np.array([0, 1]))
+    assert phi.tolist() == [1.0, 1.0]
+
+
+def test_conductance_caveman_low():
+    g, labels = caveman(6, 8)
+    assert worst_conductance(g, labels) < 0.2
+
+
+def test_worst_conductance_all_in_one(karate):
+    assert worst_conductance(karate, np.zeros(34, dtype=np.int64)) == 0.0
+
+
+def test_good_partition_beats_bad_on_all_measures(karate):
+    from repro import gpu_louvain
+
+    good = gpu_louvain(karate).membership
+    rng = np.random.default_rng(0)
+    bad = rng.integers(0, 4, size=34)
+    assert coverage(karate, good) > coverage(karate, bad)
+    assert worst_conductance(karate, good) < worst_conductance(karate, bad)
+
+
+@settings(max_examples=50, deadline=None)
+@given(graphs_with_partitions())
+def test_measures_bounded(data):
+    graph, labels = data
+    assert 0.0 <= coverage(graph, labels) <= 1.0
+    if graph.num_vertices >= 2:
+        assert 0.0 <= performance(graph, labels) <= 1.0
+    phi = conductance(graph, labels)
+    assert np.all(phi >= 0.0)
+    assert np.all(phi <= 1.0 + 1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs_with_partitions())
+def test_coverage_complements_cut(data):
+    graph, labels = data
+    if graph.total_weight == 0:
+        return
+    src = labels[graph.vertex_of_edge]
+    dst = labels[graph.indices]
+    cut = float(graph.weights[src != dst].sum())
+    assert coverage(graph, labels) == pytest.approx(
+        1.0 - cut / graph.total_weight
+    )

@@ -1,0 +1,119 @@
+"""Tests for repro.metrics.quality."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.quality import (
+    adjusted_rand_index,
+    community_sizes,
+    normalize_labels,
+    normalized_mutual_information,
+    num_communities,
+    partition_stats,
+)
+
+
+def test_normalize_labels_first_use_order():
+    out = normalize_labels(np.array([7, 7, 3, 7, 3, 9]))
+    assert out.tolist() == [0, 0, 1, 0, 1, 2]
+
+
+def test_normalize_labels_already_dense():
+    out = normalize_labels(np.array([0, 1, 2]))
+    assert out.tolist() == [0, 1, 2]
+
+
+def test_community_sizes():
+    assert community_sizes(np.array([5, 5, 2, 5])).tolist() == [3, 1]
+
+
+def test_num_communities():
+    assert num_communities(np.array([4, 4, 9])) == 2
+
+
+def test_nmi_identical_is_one():
+    labels = np.array([0, 0, 1, 1, 2])
+    assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+
+def test_nmi_permuted_labels_is_one():
+    a = np.array([0, 0, 1, 1])
+    b = np.array([5, 5, 2, 2])
+    assert normalized_mutual_information(a, b) == pytest.approx(1.0)
+
+
+def test_nmi_independent_is_low():
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 4, 2000)
+    b = rng.integers(0, 4, 2000)
+    assert normalized_mutual_information(a, b) < 0.05
+
+
+def test_nmi_single_cluster_degenerate():
+    a = np.zeros(5, dtype=int)
+    assert normalized_mutual_information(a, a) == 1.0
+
+
+def test_nmi_shape_mismatch():
+    with pytest.raises(ValueError):
+        normalized_mutual_information(np.zeros(3), np.zeros(4))
+
+
+def test_ari_identical_is_one():
+    labels = np.array([0, 1, 1, 2, 2, 2])
+    assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+
+def test_ari_permuted_is_one():
+    a = np.array([0, 0, 1, 1])
+    b = np.array([1, 1, 0, 0])
+    assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+
+def test_ari_independent_near_zero():
+    rng = np.random.default_rng(1)
+    a = rng.integers(0, 4, 3000)
+    b = rng.integers(0, 4, 3000)
+    assert abs(adjusted_rand_index(a, b)) < 0.05
+
+
+def test_ari_against_sklearn_formula_small():
+    # Hand-computed example: a=[0,0,1,1], b=[0,0,0,1]
+    a = np.array([0, 0, 1, 1])
+    b = np.array([0, 0, 0, 1])
+    # contingency [[2,0],[1,1]]; sum comb2 cells = 1; rows = 2; cols = 3+0=3
+    # total = 6; expected = 1.0; max = 2.5 -> ari = 0/1.5 = 0.0
+    assert adjusted_rand_index(a, b) == pytest.approx(0.0)
+
+
+def test_partition_stats():
+    stats = partition_stats(np.array([0, 0, 0, 1, 2]))
+    assert stats.num_communities == 3
+    assert stats.largest == 3
+    assert stats.smallest == 1
+    assert stats.mean_size == pytest.approx(5 / 3)
+    assert stats.singleton_fraction == pytest.approx(2 / 3)
+
+
+def test_partition_stats_empty():
+    stats = partition_stats(np.array([], dtype=int))
+    assert stats.num_communities == 0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=40))
+def test_nmi_symmetric(labels):
+    a = np.asarray(labels)
+    b = a[::-1].copy()
+    assert normalized_mutual_information(a, b) == pytest.approx(
+        normalized_mutual_information(b, a)
+    )
+
+
+@given(st.lists(st.integers(min_value=0, max_value=6), min_size=2, max_size=40))
+def test_ari_bounded_above_by_one(labels):
+    a = np.asarray(labels)
+    rng = np.random.default_rng(0)
+    b = rng.permutation(a)
+    assert adjusted_rand_index(a, b) <= 1.0 + 1e-12

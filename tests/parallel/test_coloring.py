@@ -1,0 +1,75 @@
+"""Tests for greedy coloring."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.graph.generators import complete, karate_club, ring, star
+from repro.parallel.coloring import color_classes, greedy_coloring
+
+from ..conftest import csr_graphs
+
+
+def _is_proper(graph, colors):
+    for v in range(graph.num_vertices):
+        for nb in graph.neighbors(v):
+            if nb != v and colors[nb] == colors[v]:
+                return False
+    return True
+
+
+def test_ring_two_or_three_colors():
+    g = ring(10)
+    colors = greedy_coloring(g)
+    assert _is_proper(g, colors)
+    assert colors.max() <= 2
+
+
+def test_complete_needs_n_colors():
+    g = complete(5)
+    colors = greedy_coloring(g)
+    assert _is_proper(g, colors)
+    assert np.unique(colors).size == 5
+
+
+def test_star_two_colors():
+    g = star(10)
+    colors = greedy_coloring(g)
+    assert _is_proper(g, colors)
+    assert colors.max() == 1
+
+
+def test_karate_proper():
+    g = karate_club()
+    colors = greedy_coloring(g)
+    assert _is_proper(g, colors)
+    assert colors.max() + 1 <= g.degrees.max() + 1
+
+
+def test_color_classes_partition():
+    g = karate_club()
+    classes = color_classes(greedy_coloring(g))
+    all_vertices = np.concatenate(classes)
+    assert sorted(all_vertices.tolist()) == list(range(34))
+
+
+def test_color_classes_are_independent_sets():
+    g = karate_club()
+    colors = greedy_coloring(g)
+    for cls in color_classes(colors):
+        members = set(cls.tolist())
+        for v in cls:
+            for nb in g.neighbors(v):
+                assert nb == v or int(nb) not in members
+
+
+def test_color_classes_empty():
+    assert color_classes(np.array([], dtype=np.int64)) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(csr_graphs(max_vertices=20, max_edges=50))
+def test_coloring_always_proper(g):
+    colors = greedy_coloring(g)
+    assert _is_proper(g, colors)
+    if g.num_vertices:
+        assert colors.min() >= 0

@@ -1,0 +1,76 @@
+"""Tests for the work-distribution cost comparison (the bucketing thesis)."""
+
+import pytest
+
+from repro.graph.generators import lattice3d, rmat, star
+from repro.gpu.costmodel import CostModel
+from repro.parallel.costcompare import (
+    bucketed_sweep_cycles,
+    estimate_work,
+    node_centric_sweep_cycles,
+    single_group_sweep_cycles,
+)
+from repro.parallel.sortbased import sort_kernel_cycles
+
+CM = CostModel()
+
+
+def test_estimate_work_fields():
+    w = estimate_work(16)
+    assert w.edges == 16
+    assert w.probes == 20  # ceil(1.25 * 16)
+    assert w.atomics == 16
+
+
+def test_bucketed_beats_node_centric_on_skewed():
+    """The paper's core claim, in the cost model."""
+    g = rmat(11, 16, rng=0)
+    assert g.degrees.max() > 300  # genuinely skewed
+    bucketed = bucketed_sweep_cycles(g, CM)
+    node_centric = node_centric_sweep_cycles(g, CM)
+    assert node_centric > 3 * bucketed
+
+
+def test_star_is_worst_case_for_node_centric():
+    g = star(1000)
+    bucketed = bucketed_sweep_cycles(g, CM)
+    node_centric = node_centric_sweep_cycles(g, CM)
+    assert node_centric > 5 * bucketed
+
+
+def test_regular_graph_gap_is_small():
+    """On uniform degrees the bucketing advantage shrinks to the
+    shared-vs-global and threads-per-vertex constant factors."""
+    g = lattice3d(12, 12, 12)  # uniform degree 6
+    bucketed = bucketed_sweep_cycles(g, CM)
+    node_centric = node_centric_sweep_cycles(g, CM)
+    skew = rmat(11, 16, rng=0)
+    skew_ratio = node_centric_sweep_cycles(skew, CM) / bucketed_sweep_cycles(skew, CM)
+    regular_ratio = node_centric / bucketed
+    assert regular_ratio < skew_ratio
+
+
+def test_single_group_intermediate():
+    """A single global group size sits between bucketing and node-centric
+    on skewed inputs (it wastes threads on small vertices or strides on
+    big ones)."""
+    g = rmat(10, 16, rng=1)
+    bucketed = bucketed_sweep_cycles(g, CM)
+    fixed32 = single_group_sweep_cycles(g, CM, 32)
+    fixed4 = single_group_sweep_cycles(g, CM, 4)
+    assert bucketed <= fixed32 * 1.05  # bucketing never much worse
+    assert bucketed <= fixed4 * 1.05
+
+
+def test_sort_kernel_costlier_than_hash_per_edge():
+    """deg*log(deg) sorting vs ~1.25 probes: hashing wins on dense rows."""
+    g = rmat(10, 16, rng=2)
+    hash_cycles = bucketed_sweep_cycles(g, CM)
+    sort_cycles = sort_kernel_cycles(g, CM)
+    assert sort_cycles > hash_cycles
+
+
+def test_cycles_positive_and_scale():
+    small = rmat(8, 8, rng=3)
+    large = rmat(10, 8, rng=3)
+    assert 0 < bucketed_sweep_cycles(small, CM) < bucketed_sweep_cycles(large, CM)

@@ -1,0 +1,125 @@
+"""Tests for sequential aggregation — the contraction oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graph.build import from_edges
+from repro.graph.generators import caveman, karate_club
+from repro.graph.validation import validate
+from repro.metrics.modularity import modularity
+from repro.seq.aggregation import aggregate
+
+from ..conftest import graphs_with_partitions
+
+
+def test_identity_partition_is_isomorphic(karate):
+    contracted, dense = aggregate(karate, np.arange(34))
+    assert contracted == karate
+    assert dense.tolist() == list(range(34))
+
+
+def test_all_in_one_community(karate):
+    contracted, dense = aggregate(karate, np.zeros(34, dtype=np.int64))
+    assert contracted.num_vertices == 1
+    # Self-loop weight = 2m (all edges internal).
+    assert contracted.self_loop_weight(0) == pytest.approx(karate.total_weight)
+
+
+def test_two_communities_weights():
+    # path 0-1-2 with communities {0,1},{2}
+    g = from_edges([0, 1], [1, 2], [3.0, 5.0])
+    contracted, dense = aggregate(g, np.array([0, 0, 1]))
+    assert contracted.num_vertices == 2
+    assert contracted.self_loop_weight(0) == pytest.approx(6.0)  # 2*w(0,1)
+    assert contracted.neighbor_weights(1).tolist() == [5.0]
+
+
+def test_labels_renumbered_by_id_order():
+    g = from_edges([0, 1], [1, 2])
+    _, dense = aggregate(g, np.array([9, 9, 4]))
+    # community 4 < 9 so it becomes new vertex 0
+    assert dense.tolist() == [1, 1, 0]
+
+
+def test_self_loops_carried_over():
+    g = from_edges([0, 0, 1], [0, 1, 2], [7.0, 1.0, 1.0])
+    contracted, _ = aggregate(g, np.array([0, 0, 1]))
+    # loop(0) + 2 * w(0,1) = 7 + 2 = 9
+    assert contracted.self_loop_weight(0) == pytest.approx(9.0)
+
+
+def test_parallel_inter_edges_merged():
+    # two communities joined by two distinct edges -> one merged edge
+    g = from_edges([0, 1], [2, 3], [2.0, 5.0])
+    contracted, _ = aggregate(g, np.array([0, 0, 1, 1]))
+    assert contracted.num_edges == 1
+    assert contracted.neighbor_weights(0).tolist() == [7.0]
+
+
+def test_weighted_degree_preserved(karate):
+    """k of each new vertex equals a_c of its community — the invariant."""
+    labels = np.arange(34) % 5
+    contracted, dense = aggregate(karate, labels)
+    k_old = karate.weighted_degrees
+    for c in range(5):
+        expected = k_old[labels == c].sum()
+        assert contracted.weighted_degrees[dense[labels == c][0]] == pytest.approx(
+            expected
+        )
+
+
+def test_total_weight_preserved(karate):
+    labels = np.arange(34) % 7
+    contracted, _ = aggregate(karate, labels)
+    assert contracted.total_weight == pytest.approx(karate.total_weight)
+
+
+def test_modularity_invariant_karate(karate):
+    """THE Louvain invariant: Q(G, C) == Q(aggregate(G, C), singletons)."""
+    labels = np.arange(34) % 4
+    contracted, dense = aggregate(karate, labels)
+    q_before = modularity(karate, labels)
+    q_after = modularity(contracted, np.arange(contracted.num_vertices))
+    assert q_after == pytest.approx(q_before)
+
+
+def test_caveman_contracts_to_ring_of_caves():
+    g, labels = caveman(5, 6)
+    contracted, _ = aggregate(g, labels)
+    assert contracted.num_vertices == 5
+    validate(contracted)
+
+
+@settings(max_examples=80, deadline=None)
+@given(graphs_with_partitions())
+def test_modularity_invariant_property(data):
+    """Modularity is preserved by contraction for arbitrary partitions."""
+    graph, labels = data
+    contracted, dense = aggregate(graph, labels)
+    validate(contracted)
+    q_before = modularity(graph, labels)
+    q_after = modularity(contracted, np.arange(contracted.num_vertices))
+    assert q_after == pytest.approx(q_before, abs=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(graphs_with_partitions())
+def test_total_weight_invariant_property(data):
+    graph, labels = data
+    contracted, _ = aggregate(graph, labels)
+    assert contracted.total_weight == pytest.approx(graph.total_weight, abs=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(graphs_with_partitions())
+def test_dense_map_is_composition_ready(data):
+    graph, labels = data
+    contracted, dense = aggregate(graph, labels)
+    if graph.num_vertices:
+        assert dense.min() >= 0
+        assert dense.max() == contracted.num_vertices - 1
+        # same community <-> same new id
+        for c in np.unique(labels):
+            members = labels == c
+            assert np.unique(dense[members]).size == 1

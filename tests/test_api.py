@@ -1,0 +1,39 @@
+"""Top-level public API smoke tests."""
+
+import numpy as np
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_public_names():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_flow():
+    """The README's four-line quickstart must work verbatim."""
+    graph = repro.from_edges([0, 1, 2, 3], [1, 2, 3, 0])
+    result = repro.gpu_louvain(graph)
+    assert isinstance(result, repro.GPULouvainResult)
+    assert result.membership.shape == (4,)
+    assert -1.0 <= result.modularity <= 1.0
+
+
+def test_sequential_entry_point():
+    graph = repro.from_edges([0, 1, 2], [1, 2, 0])
+    result = repro.sequential_louvain(graph)
+    assert result.num_communities >= 1
+
+
+def test_modularity_export():
+    graph = repro.from_edges([0], [1])
+    assert repro.modularity(graph, np.array([0, 0])) == 0.0
+
+
+def test_config_exported():
+    cfg = repro.GPULouvainConfig(threshold_bin=1e-1)
+    assert cfg.threshold_bin == 1e-1

@@ -1,0 +1,153 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.generators import karate_club
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+@pytest.fixture
+def karate_file(tmp_path):
+    path = tmp_path / "karate.txt"
+    write_edge_list(karate_club(), path)
+    return str(path)
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_info(karate_file, capsys):
+    assert main(["info", karate_file]) == 0
+    out = capsys.readouterr().out
+    assert "vertices:        34" in out
+    assert "edges:           78" in out
+
+
+def test_detect_gpu(karate_file, capsys, tmp_path):
+    out_path = tmp_path / "comms.txt"
+    assert main(["detect", karate_file, "--solver", "gpu", "-o", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "modularity:  0.4" in out
+    lines = out_path.read_text().splitlines()
+    assert lines[0].startswith("#")
+    assert len(lines) == 35  # header + 34 vertices
+    vertex, community = lines[1].split()
+    assert vertex == "0"
+
+
+@pytest.mark.parametrize("solver", ["seq", "plm", "lu", "coarse", "sort"])
+def test_detect_other_solvers(karate_file, capsys, solver):
+    assert main(["detect", karate_file, "--solver", solver]) == 0
+    out = capsys.readouterr().out
+    assert f"solver:      {solver}" in out
+    assert "modularity:" in out
+
+
+def test_detect_multigpu(karate_file, capsys):
+    assert main(["detect", karate_file, "--solver", "multigpu", "--devices", "2"]) == 0
+    assert "communities:" in capsys.readouterr().out
+
+
+def test_detect_levels_flag(karate_file, capsys):
+    assert main(["detect", karate_file, "--levels"]) == 0
+    assert "level 0: n=34" in capsys.readouterr().out
+
+
+def test_detect_threshold_flags(karate_file, capsys):
+    assert (
+        main(
+            [
+                "detect", karate_file,
+                "--threshold-bin", "1e-1",
+                "--threshold-final", "1e-4",
+                "--bin-vertex-limit", "10",
+            ]
+        )
+        == 0
+    )
+
+
+@pytest.mark.parametrize(
+    "family", ["social", "ba", "lfr", "caveman", "road", "delaunay",
+               "stencil", "kkt", "karate", "rmat", "rgg"]
+)
+def test_generate_all_families(tmp_path, capsys, family):
+    out = tmp_path / f"{family}.txt"
+    assert main(["generate", family, "-n", "300", "-m", "4", "-o", str(out)]) == 0
+    graph = read_edge_list(out)
+    assert graph.num_vertices > 1
+    assert graph.num_edges > 0
+
+
+def test_generate_deterministic(tmp_path):
+    a = tmp_path / "a.txt"
+    b = tmp_path / "b.txt"
+    main(["generate", "social", "-n", "200", "--seed", "5", "-o", str(a)])
+    main(["generate", "social", "-n", "200", "--seed", "5", "-o", str(b)])
+    assert a.read_text() == b.read_text()
+
+
+def test_suite_list(capsys):
+    assert main(["suite", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "uk-2002" in out
+    assert "road_usa" in out
+    assert out.count("\n") >= 56
+
+
+def test_suite_materialise(tmp_path, capsys):
+    out = tmp_path / "g.txt"
+    assert main(["suite", "--name", "com-dblp", "-o", str(out)]) == 0
+    graph = read_edge_list(out)
+    assert graph.num_vertices > 100
+
+
+def test_suite_unknown_name():
+    with pytest.raises(KeyError):
+        main(["suite", "--name", "nope"])
+
+
+def test_roundtrip_detect_generated(tmp_path, capsys):
+    graph_path = tmp_path / "g.txt"
+    main(["generate", "caveman", "-n", "60", "-m", "6", "-o", str(graph_path)])
+    capsys.readouterr()
+    assert main(["detect", str(graph_path)]) == 0
+    out = capsys.readouterr().out
+    # caveman structure: high modularity
+    q = float(next(l for l in out.splitlines() if "modularity" in l).split()[-1])
+    assert q > 0.6
+
+
+def test_detect_resolution_flag(karate_file, capsys):
+    assert main(["detect", karate_file, "--resolution", "4.0"]) == 0
+    out_fine = capsys.readouterr().out
+    assert main(["detect", karate_file, "--resolution", "0.1"]) == 0
+    out_coarse = capsys.readouterr().out
+    fine = int(next(l for l in out_fine.splitlines() if "communities" in l).split()[-1])
+    coarse = int(next(l for l in out_coarse.splitlines() if "communities" in l).split()[-1])
+    assert fine >= coarse
+
+
+def test_detect_warm_start_roundtrip(karate_file, capsys, tmp_path):
+    membership_path = tmp_path / "m.txt"
+    assert main(["detect", karate_file, "-o", str(membership_path)]) == 0
+    capsys.readouterr()
+    assert main(["detect", karate_file, "--warm-start", str(membership_path)]) == 0
+    out = capsys.readouterr().out
+    assert "modularity:  0.4" in out
+
+
+def test_main_module_help():
+    import subprocess
+    import sys
+
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"], capture_output=True, text=True
+    )
+    assert result.returncode == 0
+    assert "detect" in result.stdout
+    assert "generate" in result.stdout

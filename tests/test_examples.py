@@ -1,0 +1,78 @@
+"""Smoke tests: every example script must run cleanly end to end.
+
+The slowest examples are exercised through subprocesses with a generous
+timeout; their detailed behaviour is covered by the unit tests of the
+APIs they use.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_examples_directory_complete():
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    expected = {
+        "quickstart.py",
+        "social_network_analysis.py",
+        "road_network_hierarchy.py",
+        "simulated_device_profiling.py",
+        "compare_algorithms.py",
+        "dynamic_communities.py",
+        "resolution_sweep.py",
+    }
+    assert expected <= present
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "karate club" in out
+    assert "Q = 0.4" in out
+    assert "independent modularity check" in out
+
+
+def test_resolution_sweep():
+    out = _run("resolution_sweep.py")
+    assert "recovers the super-groups" in out
+    assert "recovers the cliques" in out
+
+
+def test_simulated_device_profiling():
+    out = _run("simulated_device_profiling.py")
+    assert "active-thread fraction" in out
+    assert "identical clustering on both devices" in out
+
+
+def test_road_network_hierarchy():
+    out = _run("road_network_hierarchy.py")
+    assert "optimization fraction" in out
+    assert "best-modularity cut" in out
+
+
+def test_dynamic_communities():
+    out = _run("dynamic_communities.py", timeout=400)
+    assert "warm sweeps" in out
+    assert "warm starts keep the hierarchy stable" in out
+
+
+@pytest.mark.parametrize(
+    "name", ["social_network_analysis.py", "compare_algorithms.py"]
+)
+def test_heavier_examples(name):
+    out = _run(name, timeout=500)
+    assert "Q" in out or "modularity" in out.lower()

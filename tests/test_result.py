@@ -1,0 +1,75 @@
+"""Tests for repro.result."""
+
+import numpy as np
+import pytest
+
+from repro.result import LouvainResult, flatten_levels
+
+
+def test_flatten_single_level():
+    out = flatten_levels([np.array([0, 1, 0])])
+    assert out.tolist() == [0, 1, 0]
+
+
+def test_flatten_two_levels():
+    # level 0: vertices {0,1,2,3} -> {0,0,1,1}; level 1: {0,1} -> {0,0}
+    out = flatten_levels([np.array([0, 0, 1, 1]), np.array([0, 0])])
+    assert out.tolist() == [0, 0, 0, 0]
+
+
+def test_flatten_three_levels():
+    l0 = np.array([0, 1, 2, 3])
+    l1 = np.array([0, 0, 1, 1])
+    l2 = np.array([1, 0])
+    out = flatten_levels([l0, l1, l2])
+    assert out.tolist() == [1, 1, 0, 0]
+
+
+def test_flatten_empty_raises():
+    with pytest.raises(ValueError):
+        flatten_levels([])
+
+
+def test_flatten_does_not_mutate_input():
+    level = np.array([0, 1])
+    flatten_levels([level, np.array([1, 0])])
+    assert level.tolist() == [0, 1]
+
+
+def _result():
+    levels = [np.array([0, 0, 1, 2]), np.array([0, 1, 1])]
+    return LouvainResult(
+        levels=levels,
+        level_sizes=[(4, 5), (3, 3)],
+        membership=flatten_levels(levels),
+        modularity=0.5,
+    )
+
+
+def test_result_num_levels():
+    assert _result().num_levels == 2
+
+
+def test_result_num_communities():
+    r = _result()
+    assert r.num_communities == 2  # labels {0, 1}
+
+
+def test_membership_at_level():
+    r = _result()
+    assert r.membership_at_level(0).tolist() == [0, 0, 1, 2]
+    assert r.membership_at_level(1).tolist() == [0, 0, 1, 1]
+    with pytest.raises(IndexError):
+        r.membership_at_level(2)
+    with pytest.raises(IndexError):
+        r.membership_at_level(-1)
+
+
+def test_empty_membership():
+    r = LouvainResult(
+        levels=[np.array([], dtype=np.int64)],
+        level_sizes=[(0, 0)],
+        membership=np.array([], dtype=np.int64),
+        modularity=0.0,
+    )
+    assert r.num_communities == 0
