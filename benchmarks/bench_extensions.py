@@ -18,7 +18,6 @@ sketches, implemented in this repository:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.bench.reporting import banner, format_table
 from repro.bench.runner import run_gpu, run_sequential, timed

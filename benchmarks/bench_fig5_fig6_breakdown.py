@@ -11,7 +11,6 @@ without a natural initial community structure (also seen on channel-500).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.bench.reporting import banner, format_table
 from repro.bench.runner import run_gpu, stage_breakdown

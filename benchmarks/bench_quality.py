@@ -11,7 +11,6 @@ structure) — consistent with the paper's §3 taxonomy.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.bench.reporting import banner, format_table

@@ -1,0 +1,136 @@
+"""Before/after harness for the SweepPlan subsystem.
+
+``use_sweep_plan=False`` is the pre-plan vectorized engine (fresh edge
+gathers every sweep, full-edge modularity scan); ``True`` adds the
+per-phase :class:`~repro.core.sweep_plan.SweepPlan` caches plus the
+incremental modularity tracking.  The plan is a pure optimization, so the
+harness asserts *exact* equality of the final membership and modularity
+before reporting speedups.
+
+Methodology: the two engines are interleaved round by round and the
+minimum modularity-optimization time per engine is compared —
+back-to-back runs on a shared machine see ±10% noise that interleaved
+minima cancel.  ``bin_vertex_limit=100_000`` (the
+:class:`~repro.core.config.GPULouvainConfig` default) keeps the fine
+``t_final`` threshold active for these graph sizes, matching how the
+plan is used by default (see the config docs for the divergent
+``run_gpu`` setting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import banner, format_table
+from repro.bench.suite import SUITE
+from repro.core.gpu_louvain import gpu_louvain
+
+from _util import emit
+
+#: The suite's two largest graphs by paper edge count, at scales where
+#: the phase runs enough sweeps for a stable measurement.
+CASES = (
+    ("uk-2002", 5.0),
+    ("nlpkkt200", 2.0),
+)
+
+ROUNDS = 5
+BIN_VERTEX_LIMIT = 100_000
+
+#: Acceptance bar: the plan must speed the mod-opt phase up by >= 1.5x.
+MIN_SPEEDUP = 1.5
+
+
+def _opt_seconds(out) -> float:
+    return sum(stage.optimization_seconds for stage in out.timings.stages)
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    rows = []
+    for name, scale in CASES:
+        entry = next(e for e in SUITE if e.name == name)
+        graph = entry.load(scale)
+        best = {False: np.inf, True: np.inf}
+        runs = {}
+        for _ in range(ROUNDS):
+            for use_plan in (False, True):
+                out = gpu_louvain(
+                    graph,
+                    bin_vertex_limit=BIN_VERTEX_LIMIT,
+                    use_sweep_plan=use_plan,
+                )
+                best[use_plan] = min(best[use_plan], _opt_seconds(out))
+                runs[use_plan] = out
+        rows.append((entry, graph, best, runs))
+    return rows
+
+
+def test_sweep_plan_is_exact(measurements):
+    for entry, _, _, runs in measurements:
+        off, on = runs[False], runs[True]
+        assert np.array_equal(on.membership, off.membership), entry.name
+        assert on.modularity == off.modularity, entry.name
+        assert on.sweeps_per_level == off.sweeps_per_level, entry.name
+        # The plan run reports cache effectiveness.
+        assert on.timings.gather_reuse_hits > 0, entry.name
+        assert off.timings.gather_reuse_hits == 0, entry.name
+
+
+def test_sweep_plan_speedup(benchmark, measurements):
+    entry0, graph0, _, _ = measurements[0]
+    benchmark.pedantic(
+        lambda: gpu_louvain(
+            graph0, bin_vertex_limit=BIN_VERTEX_LIMIT, use_sweep_plan=True
+        ),
+        rounds=2,
+        iterations=1,
+    )
+
+    table_rows = []
+    speedups = []
+    for entry, graph, best, runs in measurements:
+        on = runs[True]
+        speedup = best[False] / best[True]
+        speedups.append((entry.name, speedup))
+        table_rows.append(
+            (
+                entry.name,
+                graph.num_vertices,
+                graph.num_edges,
+                sum(on.sweeps_per_level),
+                best[False] * 1e3,
+                best[True] * 1e3,
+                speedup,
+                on.timings.pair_reuse_hits + on.timings.pair_patch_hits,
+                on.timings.max_q_drift,
+            )
+        )
+
+    text = "\n".join(
+        [
+            banner("SweepPlan: modularity-optimization phase, before/after"),
+            f"min of {ROUNDS} interleaved rounds; bin_vertex_limit={BIN_VERTEX_LIMIT}",
+            "",
+            format_table(
+                (
+                    "graph",
+                    "n",
+                    "m",
+                    "sweeps",
+                    "off ms",
+                    "on ms",
+                    "speedup",
+                    "pair hits",
+                    "q drift",
+                ),
+                table_rows,
+                floatfmt=".3g",
+            ),
+        ]
+    )
+    emit("bench_sweep_plan", text)
+
+    for name, speedup in speedups:
+        assert speedup >= MIN_SPEEDUP, f"{name}: {speedup:.2f}x < {MIN_SPEEDUP}x"

@@ -14,7 +14,6 @@ recorded.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.bench.reporting import banner, format_table

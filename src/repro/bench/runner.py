@@ -12,7 +12,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.config import GPULouvainConfig
 from ..core.gpu_louvain import gpu_louvain
 from ..graph.csr import CSRGraph
 from ..result import LouvainResult

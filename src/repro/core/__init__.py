@@ -2,11 +2,16 @@
 
 from .aggregate import AggregationOutcome, aggregate_gpu
 from .buckets import Bucket, bucket_index, community_buckets, degree_buckets
-from .compute_move import compute_moves_simulated, compute_moves_vectorized
+from .compute_move import (
+    compute_moves_simulated,
+    compute_moves_vectorized,
+    segment_sort_order,
+)
 from .config import COMMUNITY_BUCKETS, DEGREE_BUCKETS, GROUP_SIZES, GPULouvainConfig
 from .gpu_louvain import GPULouvainResult, gpu_louvain
 from .hierarchy import Dendrogram, best_level, cut_at_level
 from .mod_opt import OptimizationOutcome, modularity_optimization
+from .sweep_plan import BucketPlan, SweepPlan
 
 __all__ = [
     "gpu_louvain",
@@ -21,6 +26,9 @@ __all__ = [
     "AggregationOutcome",
     "compute_moves_vectorized",
     "compute_moves_simulated",
+    "segment_sort_order",
+    "SweepPlan",
+    "BucketPlan",
     "Bucket",
     "bucket_index",
     "degree_buckets",

@@ -35,8 +35,72 @@ from ..gpu.hashtable import CommunityHashTable
 from ..gpu.profiler import KernelStats
 from ..gpu.thrust import gather_rows
 from .buckets import Bucket
+from .sweep_plan import BucketPlan
 
-__all__ = ["compute_moves_vectorized", "compute_moves_simulated"]
+__all__ = [
+    "segment_sort_order",
+    "compute_moves_vectorized",
+    "compute_moves_simulated",
+]
+
+#: Largest combined radix key before the lexsort fallback kicks in
+#: (module-level so tests can shrink it to exercise the fallback).
+_MAX_RADIX_KEY = np.iinfo(np.int64).max
+
+
+def _mark_scored(plan: BucketPlan) -> None:
+    """Record that the bucket's decisions are current as of this commit.
+
+    Only ever *skipping* the stamp is safe (it forces extra rescoring);
+    the stamp itself must follow a scoring pass that covered every
+    vertex whose inputs changed.
+    """
+    owner = plan.owner
+    if owner is not None and owner.track_validity:
+        plan.score_stamp = owner.move_counter
+        plan.score_moved = owner.total_moved
+        plan.rescore_local = None
+
+
+def segment_sort_order(
+    owner_local: np.ndarray,
+    dst_comm: np.ndarray,
+    num_vertices: int,
+    *,
+    owner_key: np.ndarray | None = None,
+) -> np.ndarray:
+    """Stable order of edges by ``(owner_local, dst_comm)``.
+
+    A combined integer key + stable argsort hits NumPy's radix path and
+    is ~50x faster than np.lexsort on these sizes (profiled; see the
+    optimization guide's "measure first" workflow).  The combined key
+    ``owner_local * num_vertices + dst_comm`` can overflow int64 when the
+    bucket size times the vertex count exceeds 2^63 (large ``n x bucket``
+    products); the overflow condition is checked in exact Python integers
+    and the order falls back to ``np.lexsort`` — also stable, so every
+    path produces the identical permutation.
+
+    ``owner_key`` optionally supplies the pre-multiplied
+    ``owner_local * num_vertices`` base from a
+    :class:`~repro.core.sweep_plan.BucketPlan` (already overflow-checked
+    at plan-build time); when it is int32 the sort moves half the bytes.
+    The plain path deliberately keeps the pre-change int64 key so
+    ``use_sweep_plan=False`` stays a faithful baseline.
+    """
+    if owner_local.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if owner_key is not None:
+        if owner_key.dtype == np.int32:
+            return np.argsort(owner_key + dst_comm.astype(np.int32), kind="stable")
+        return np.argsort(owner_key + dst_comm, kind="stable")
+    # owner_local from gather_rows is nondecreasing, but take the true max
+    # so the helper is safe on arbitrary inputs.
+    max_key = int(owner_local.max()) * int(num_vertices) + int(num_vertices) - 1
+    if max_key > _MAX_RADIX_KEY:
+        return np.lexsort((dst_comm, owner_local))
+    return np.argsort(
+        owner_local * np.int64(num_vertices) + dst_comm, kind="stable"
+    )
 
 
 def compute_moves_vectorized(
@@ -49,6 +113,7 @@ def compute_moves_vectorized(
     k: np.ndarray | None = None,
     singleton_constraint: bool = True,
     resolution: float = 1.0,
+    plan: BucketPlan | None = None,
 ) -> np.ndarray:
     """Vectorized Alg. 2 for a set of vertices; returns their new community.
 
@@ -61,6 +126,11 @@ def compute_moves_vectorized(
         The bucket's members (any subset of vertices).
     k:
         Weighted degrees (recomputed if omitted).
+    plan:
+        Optional pre-gathered edge arrays for exactly these ``vertices``
+        (a :class:`~repro.core.sweep_plan.BucketPlan`); skips the
+        per-sweep row gather and self-loop filtering.  The result is
+        bit-identical with and without a plan.
     """
     vertices = np.asarray(vertices, dtype=np.int64)
     n = graph.num_vertices
@@ -74,37 +144,193 @@ def compute_moves_vectorized(
     if m == 0.0:
         return new_comm
 
-    edge_pos, owner_local = gather_rows(graph.indptr, vertices)
-    dst = graph.indices[edge_pos]
-    w = graph.weights[edge_pos]
-    not_loop = dst != vertices[owner_local]
-    owner_local = owner_local[not_loop]
-    dst_comm = comm[dst[not_loop]]
-    w = w[not_loop]
-    if owner_local.size == 0:
-        return new_comm
+    if plan is not None and plan.bucket.members.size != vertices.size:
+        raise ValueError("plan does not match the requested vertex set")
 
-    # Segmented "hash accumulate": e_{i->c} per (vertex, community) pair.
-    # A combined int64 key + stable argsort hits NumPy's radix path and is
-    # ~50x faster than np.lexsort on these sizes (profiled; see the
-    # optimization guide's "measure first" workflow).
-    order = np.argsort(owner_local * np.int64(n) + dst_comm, kind="stable")
-    owner_local = owner_local[order]
-    dst_comm = dst_comm[order]
-    w = w[order]
-    is_boundary = np.concatenate(
-        ([True], (owner_local[1:] != owner_local[:-1]) | (dst_comm[1:] != dst_comm[:-1]))
-    )
-    starts = np.flatnonzero(is_boundary)
-    pv = owner_local[starts]  # local vertex index per pair
-    pc = dst_comm[starts]  # community per pair
-    pe = np.add.reduceat(w, starts)  # e_{i->c} per pair
+    if plan is not None and not plan.pairs_valid:
+        # Try an in-place patch of the cached pair table (exact for
+        # integral weights; falls through to a rebuild for big deltas).
+        plan.refresh_pairs(comm)
+
+    if plan is not None and plan.pairs_valid:
+        # Pair-cache hit: no destination vertex of this bucket changed
+        # community since the pairs were built (or a patch restored
+        # exactness), so the sorted (vertex, community) -> e_{i->c}
+        # structure is exact.  Only the scoring below (volumes, sizes,
+        # own labels) is re-evaluated.
+        pv = plan.pv
+        pc = plan.pc
+        pe = plan.pe
+        group_start = plan.group_start
+        group_vertex = plan.group_vertex
+        seg_lengths = plan.seg_lengths
+        kv = plan.kv
+        sweep_plan = plan.owner
+        if (
+            plan.score_stamp >= 0
+            and sweep_plan is not None
+            and sweep_plan.track_validity
+            and sweep_plan.delta_scoring_ok
+            and pv.size
+            # Cheap density gate: each move dirties two communities, so
+            # once the moves since this bucket's last scoring rival its
+            # vertex count the dirty mask is near-certain to select
+            # almost everyone — skip the mask-building passes outright.
+            and (sweep_plan.total_moved - plan.score_moved) * 8
+            < vertices.size
+        ):
+            # Delta scoring: a vertex whose own community, candidate
+            # communities and e_{i->c} rows are all untouched since it
+            # was last scored faces bit-identical gain inputs, so it
+            # reproduces its previous decision — and every proposed move
+            # is committed, so that decision was "stay".  Rescore only
+            # vertices that (a) moved, (b) sit in a community whose
+            # volume/size changed, (c) have a candidate community that
+            # changed, or (d) had pair rows patched.
+            stamp = plan.score_stamp
+            need_vertex = sweep_plan.move_stamp[vertices] > stamp
+            need_vertex |= sweep_plan.comm_stamp[own] > stamp
+            if plan.rescore_local is not None and plan.rescore_local.size:
+                need_vertex[plan.rescore_local] = True
+            pair_dirty = sweep_plan.comm_stamp[pc] > stamp
+            need_group = need_vertex[group_vertex] | np.logical_or.reduceat(
+                pair_dirty, group_start
+            )
+            num_needed = int(np.count_nonzero(need_group))
+            if num_needed == 0:
+                _mark_scored(plan)
+                return new_comm
+            if num_needed * 8 < need_group.size * 7:
+                # Compress to the dirty segments; scoring the subset is
+                # elementwise/segmentwise identical to scoring it inside
+                # the full arrays.
+                pair_mask = np.repeat(need_group, seg_lengths)
+                pv = pv[pair_mask]
+                pc = pc[pair_mask]
+                pe = pe[pair_mask]
+                seg_lengths = seg_lengths[need_group]
+                group_vertex = group_vertex[need_group]
+                group_start = np.zeros(seg_lengths.size, dtype=np.int64)
+                np.cumsum(seg_lengths[:-1], out=group_start[1:])
+    elif plan is not None and plan.owner_key is not None:
+        # Plan rebuild on the combined-key fast path: the sorted key
+        # values themselves encode (owner_local, dst_comm), so the pair
+        # boundaries and labels come straight from the sorted key with no
+        # extra per-edge gathers.
+        if plan.owner_local.size == 0:
+            return new_comm
+        owner_key = plan.owner_key
+        if owner_key.dtype == np.int32:
+            # comm32 is the int32 mirror of comm the commit keeps in sync;
+            # gathering it directly skips a full-width astype pass.
+            comm32 = plan.comm32 if plan.comm32 is not None else comm
+            dc = comm32[plan.dst].astype(np.int32, copy=False)
+        else:
+            dc = comm[plan.dst]
+        key = owner_key + dc
+        if plan.can_increment:
+            # Snapshot of the dst labels the table is built from — what
+            # refresh_pairs diffs against on later sweeps.
+            plan.dst_comm_snap = dc
+        # Stable timsort: the keys keep long sorted runs (CSR edge order
+        # plus the untouched majority of destinations), which the
+        # adaptive stable sort exploits; an unstable introsort measured
+        # slower here for exactly that reason.  With integral weights
+        # (can_increment) the reduced sums are order-independent, so the
+        # previous rebuild's permutation is a legal starting order — and
+        # since only the moved destinations' keys left their slots, the
+        # pre-permuted key array is near-sorted and timsort flies.
+        hint = plan.sort_hint if plan.can_increment else None
+        if hint is not None:
+            order = hint[np.argsort(key[hint], kind="stable")]
+        else:
+            order = np.argsort(key, kind="stable")
+        if plan.can_increment:
+            plan.sort_hint = order
+        key = key[order]
+        # Boundary detection without materialising an edge-sized concat:
+        # flatnonzero on the pairwise diff, then prepend position 0.
+        starts = np.empty(0, dtype=np.int64)
+        if key.size:
+            inner = np.flatnonzero(key[1:] != key[:-1])
+            starts = np.empty(inner.size + 1, dtype=np.int64)
+            starts[0] = 0
+            np.add(inner, 1, out=starts[1:])
+        key_start = key[starts]
+        pv = key_start // n  # local vertex index per pair
+        pc = key_start - pv * n  # community per pair
+        # Upcast once: scoring fancy-indexes through pv/pc every sweep,
+        # and int32 index arrays cost NumPy an intp re-cast per gather.
+        pv = pv.astype(np.int64, copy=False)
+        pc = pc.astype(np.int64, copy=False)
+        if plan.unit_weights:
+            # All weights are 1.0, so e_{i->c} is the run length of each
+            # key — an exact integer, bit-identical to the float64
+            # reduction, without gathering/reducing the weight array.
+            pe = np.diff(np.append(starts, key.size)).astype(np.float64)
+        else:
+            w = plan.weights[order]
+            pe = np.add.reduceat(w, starts)  # e_{i->c} per pair
+        kv = plan.kv
+
+        group_start = np.flatnonzero(np.concatenate(([True], pv[1:] != pv[:-1])))
+        group_vertex = pv[group_start]
+        seg_lengths = np.diff(np.append(group_start, pv.size))
+        plan.store_pairs(
+            pv, pc, pe, group_start, group_vertex, seg_lengths, pk=key_start
+        )
+    else:
+        if plan is not None:
+            owner_local = plan.owner_local
+            dst_comm = comm[plan.dst]
+            w = plan.weights
+            owner_key = plan.owner_key
+            kv = plan.kv
+        else:
+            edge_pos, owner_local = gather_rows(graph.indptr, vertices)
+            dst = graph.indices[edge_pos]
+            w = graph.weights[edge_pos]
+            not_loop = dst != vertices[owner_local]
+            owner_local = owner_local[not_loop]
+            dst_comm = comm[dst[not_loop]]
+            w = w[not_loop]
+            owner_key = None
+            kv = k[vertices]
+        if owner_local.size == 0:
+            return new_comm
+
+        # Segmented "hash accumulate": e_{i->c} per (vertex, community)
+        # pair.
+        order = segment_sort_order(owner_local, dst_comm, n, owner_key=owner_key)
+        owner_local = owner_local[order]
+        dst_comm = dst_comm[order]
+        w = w[order]
+        is_boundary = np.concatenate(
+            (
+                [True],
+                (owner_local[1:] != owner_local[:-1])
+                | (dst_comm[1:] != dst_comm[:-1]),
+            )
+        )
+        starts = np.flatnonzero(is_boundary)
+        pv = owner_local[starts]  # local vertex index per pair
+        pc = dst_comm[starts]  # community per pair
+        pe = np.add.reduceat(w, starts)  # e_{i->c} per pair
+
+        # Per-vertex pair segments (for the argmax reductions below).
+        group_start = np.flatnonzero(np.concatenate(([True], pv[1:] != pv[:-1])))
+        group_vertex = pv[group_start]
+        seg_lengths = np.diff(np.append(group_start, pv.size))
+        if plan is not None:
+            plan.store_pairs(pv, pc, pe, group_start, group_vertex, seg_lengths)
+    if pv.size == 0:
+        return new_comm
 
     # Per-local-vertex quantities.
     e_own = np.zeros(vertices.size, dtype=np.float64)
-    own_pair = pc == own[pv]
+    own_p = own[pv]
+    own_pair = pc == own_p
     e_own[pv[own_pair]] = pe[own_pair]
-    kv = k[vertices]
     a_own_excl = volumes[own] - kv
 
     two_m_sq = 2.0 * m * m
@@ -114,24 +340,22 @@ def compute_moves_vectorized(
     ) / two_m_sq
     valid = ~own_pair
     if singleton_constraint:
-        i_singleton = comm_sizes[own[pv]] == 1
+        i_singleton = comm_sizes[own_p] == 1
         target_singleton = comm_sizes[pc] == 1
-        blocked = i_singleton & target_singleton & (pc > own[pv])
+        blocked = i_singleton & target_singleton & (pc > own_p)
         valid &= ~blocked
     gain = np.where(valid, gain, -np.inf)
 
     # Per-vertex argmax with lowest-community-id tie-break.
-    group_start = np.flatnonzero(
-        np.concatenate(([True], pv[1:] != pv[:-1]))
-    )
-    group_vertex = pv[group_start]
     max_gain = np.maximum.reduceat(gain, group_start)
-    max_gain_per_pair = np.repeat(max_gain, np.diff(np.append(group_start, pv.size)))
+    max_gain_per_pair = np.repeat(max_gain, seg_lengths)
     tie_candidate = np.where(gain == max_gain_per_pair, pc, n)
     best_c = np.minimum.reduceat(tie_candidate, group_start)
 
     moves = max_gain > 0.0
     new_comm[group_vertex[moves]] = best_c[moves]
+    if plan is not None:
+        _mark_scored(plan)
     return new_comm
 
 

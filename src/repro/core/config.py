@@ -46,7 +46,23 @@ class GPULouvainConfig:
         Inclusive upper summed-degree bound per aggregation bucket.
     threshold_bin / threshold_final / bin_vertex_limit:
         Adaptive thresholds: use ``threshold_bin`` per sweep while the
-        level's graph has more than ``bin_vertex_limit`` vertices.
+        level's graph has more than ``bin_vertex_limit`` vertices.  The
+        default 100_000 is the paper's full-scale choice; the benchmark
+        runner (:func:`repro.bench.runner.run_gpu`) deliberately scales
+        it down to 1_000 for the ~1000x-smaller analog suite (DESIGN.md
+        §2 documents the divergence).
+    use_sweep_plan:
+        Cache each bucket's edge gather for the whole phase (a
+        :class:`~repro.core.sweep_plan.SweepPlan`) and track modularity
+        incrementally from committed moves, with an exact recompute
+        every ``exact_q_interval`` sweeps and at phase end.  ``False``
+        restores the pre-plan engine (fresh gathers and a full-edge
+        exact Q scan every sweep) — the before/after baseline of
+        ``benchmarks/bench_sweep_plan.py``.  Vectorized engine only.
+    exact_q_interval:
+        Sweeps between exact modularity recomputes when the sweep plan's
+        incremental tracking is active (bounds float drift; the final
+        reported Q always comes from an exact recompute).
     relaxed_updates:
         Ablation switch (Section 5): commit moves only at the end of each
         full sweep instead of after every bucket.
@@ -80,6 +96,8 @@ class GPULouvainConfig:
     relaxed_updates: bool = False
     singleton_constraint: bool = True
     engine: str = "vectorized"
+    use_sweep_plan: bool = True
+    exact_q_interval: int = 16
     device: DeviceSpec = TESLA_K40M
     cost_parameters: CostParameters = field(default_factory=CostParameters)
     threshold_schedule: tuple[tuple[int, float], ...] | None = None
@@ -110,6 +128,8 @@ class GPULouvainConfig:
                 raise ValueError("threshold_schedule entries must be positive")
         if self.resolution <= 0:
             raise ValueError("resolution must be positive")
+        if self.exact_q_interval < 1:
+            raise ValueError("exact_q_interval must be at least 1")
 
     @property
     def num_degree_buckets(self) -> int:

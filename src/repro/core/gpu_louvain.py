@@ -13,7 +13,7 @@ kernel timings (small graphs only).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -118,6 +118,25 @@ def gpu_louvain(
             first_phase_seconds = stage.optimization_seconds
         with Stopwatch(stage, "aggregation_seconds"):
             agg = aggregate_gpu(current, outcome.communities, config, cost_model=cost_model)
+
+        no_contraction = agg.graph.num_vertices == current.num_vertices
+        # An aggregation that failed to contract onto the identity map is
+        # a pure no-op level (no vertex moved, nothing merged): recording
+        # it would inflate level counts in results and benchmarks without
+        # changing the flattened membership.  Drop its records — unless it
+        # is the only level, which keeps degenerate inputs (e.g. edgeless
+        # graphs) well-formed.
+        degenerate = (
+            no_contraction
+            and levels
+            and np.array_equal(
+                agg.dense_map, np.arange(current.num_vertices, dtype=np.int64)
+            )
+        )
+        if degenerate:
+            timings.stages.pop()
+            break
+
         if profile is not None:
             profile.optimization.append(outcome.profile)
             profile.aggregation.append(agg.profile)
@@ -126,12 +145,12 @@ def gpu_louvain(
         level_sizes.append((current.num_vertices, current.num_edges))
         sweeps_per_level.append(outcome.sweeps)
         stage.sweeps = outcome.sweeps
+        stage.sweep_stats = outcome.profile.sweeps
         membership = flatten_levels(levels)
         q = modularity(graph, membership, resolution=config.resolution)
         modularity_per_level.append(q)
         stage.modularity = q
 
-        no_contraction = agg.graph.num_vertices == current.num_vertices
         current = agg.graph
         if q - prev_q < config.threshold_final or no_contraction:
             break

@@ -8,6 +8,17 @@ point "somewhere in between" pure fine-grained and sequential update that
 Section 5's relaxed-vs-bucketed experiment studies.  ``relaxed=True``
 switches to the relaxed discipline: all buckets decide from the same
 snapshot and commit together at the end of the sweep.
+
+Per-sweep cost discipline (the paper's "work proportional to the edges
+actually touched"): with ``config.use_sweep_plan`` the vectorized engine
+builds a :class:`~repro.core.sweep_plan.SweepPlan` once per phase — the
+bucket edge gathers and pair structures are cached across sweeps — and
+the sweep-end modularity is tracked *incrementally*: per-bucket commits
+telescope, so one pass over the sweep's movers' CSR rows
+(:func:`_sweep_internal_delta`) updates the internal edge weight instead
+of re-scanning every edge.  An exact recompute runs every
+``config.exact_q_interval`` sweeps and at phase end to bound float
+drift; the final reported Q always comes from the exact recompute.
 """
 
 from __future__ import annotations
@@ -19,11 +30,19 @@ import numpy as np
 from ..graph.csr import CSRGraph
 from ..gpu.costmodel import CostModel
 from ..gpu.profiler import PhaseProfile
+from ..gpu.thrust import gather_rows
+from ..metrics.timing import SweepStats
 from .buckets import Bucket, degree_buckets
 from .compute_move import compute_moves_simulated, compute_moves_vectorized
 from .config import GPULouvainConfig
+from .sweep_plan import SweepPlan
 
 __all__ = ["OptimizationOutcome", "modularity_optimization"]
+
+#: Movers-row cutoff for the incremental internal-weight update: once
+#: the movers' CSR rows reach ``1/_DELTA_EDGE_FACTOR`` of the edge
+#: list, the plain full scan is both cheaper and drift-free.
+_DELTA_EDGE_FACTOR = 2
 
 
 @dataclass
@@ -50,6 +69,82 @@ def _partition_modularity(
     return internal / two_m - resolution * float(
         np.square(volumes).sum()
     ) / (two_m * two_m)
+
+
+def _commit_moves(
+    plan: SweepPlan,
+    comm: np.ndarray,
+    comm32: np.ndarray | None,
+    movers: np.ndarray,
+    old: np.ndarray,
+    new: np.ndarray,
+    volumes: np.ndarray,
+    sizes: np.ndarray,
+    k: np.ndarray,
+) -> None:
+    """Commit one bucket's moves (Alg. 1 lines 8-11) under a sweep plan.
+
+    Only the movers' source and target communities change.  With
+    integral weights a bincount delta added wholesale is exact
+    (integer-valued float64) and much faster than four buffered
+    ``np.add.at`` calls; otherwise ``np.add.at`` keeps the float
+    accumulation order identical to the non-plan engine.
+
+    ``comm32``, when given, is the plan's int32 label mirror and is kept
+    in sync with ``comm``.
+    """
+    comm[movers] = new
+    if comm32 is not None:
+        comm32[movers] = new
+    km = k[movers]
+    if plan.integral_weights:
+        volumes += np.bincount(
+            new, weights=km, minlength=volumes.size
+        ) - np.bincount(old, weights=km, minlength=volumes.size)
+        sizes += np.bincount(new, minlength=sizes.size) - np.bincount(
+            old, minlength=sizes.size
+        )
+    else:
+        np.add.at(volumes, old, -km)
+        np.add.at(volumes, new, km)
+        np.add.at(sizes, old, -1)
+        np.add.at(sizes, new, 1)
+    plan.mark_moved(movers, old, new)
+
+
+def _sweep_internal_delta(
+    graph: CSRGraph,
+    comm_before: np.ndarray,
+    comm: np.ndarray,
+    movers: np.ndarray,
+    scratch: np.ndarray,
+) -> float:
+    """Change of the internal edge weight across one whole sweep.
+
+    Per-bucket commits telescope: the internal weight after the sweep
+    depends only on the sweep's *initial* and *final* labels, so one
+    pass over the movers' CSR rows replaces per-batch bookkeeping.  For
+    a stored direction ``(s, d)`` with ``s`` a mover, the contribution
+    is ``w * ([cf_s==cf_d] - [ci_s==ci_d])``; directions owned by
+    unmoved endpoints of mover-incident edges change symmetrically, so
+    the total is twice the sum minus the mover-mover directions (which
+    are gathered exactly once each).  Self-loops contribute zero (their
+    match flag cannot change).  With integral weights every term is an
+    exact integer, so the tracked internal weight never drifts.
+    """
+    edge_pos, which = gather_rows(graph.indptr, movers)
+    dsts = graph.indices[edge_pos]
+    w_e = graph.weights[edge_pos]
+    cf_s = comm[movers][which]
+    ci_s = comm_before[movers][which]
+    diff = w_e * (
+        (cf_s == comm[dsts]).astype(np.float64)
+        - (ci_s == comm_before[dsts]).astype(np.float64)
+    )
+    scratch[movers] = True
+    mm = scratch[dsts]
+    scratch[movers] = False
+    return 2.0 * float(diff.sum()) - float(diff[mm].sum())
 
 
 def modularity_optimization(
@@ -94,14 +189,40 @@ def modularity_optimization(
 
     volumes = np.bincount(comm, weights=k, minlength=n)
     sizes = np.bincount(comm, minlength=n)
+
+    plan = (
+        SweepPlan.build(graph, buckets)
+        if not simulate and config.use_sweep_plan
+        else None
+    )
+    # Incremental Q tracking needs the per-bucket commit discipline (the
+    # relaxed ablation recomputes volumes wholesale at sweep end anyway).
+    incremental = plan is not None and not config.relaxed_updates
+    comm32 = None
+    if plan is not None:
+        # Pair caches stay valid only while every commit is reported via
+        # mark_moved — i.e. under the per-bucket commit discipline.
+        plan.track_validity = incremental
+        if incremental:
+            # int32 label mirror for the half-width combined sort key;
+            # the incremental commit keeps it in sync.
+            comm32 = plan.bind_communities(comm)
+
     q = _partition_modularity(comm, edges_view, k, two_m, config.resolution)
+    if incremental:
+        internal = float(w[comm[src] == comm[dst]].sum())
     sweeps = 0
 
     while sweeps < config.max_sweeps_per_level:
         sweeps += 1
         moved = 0
-        pending: list[tuple[np.ndarray, np.ndarray]] = []
-        for bucket in buckets:
+        comm_before = comm.copy() if incremental else None
+        moves_per_bucket = [0] * len(buckets)
+        reuse_before = plan.gather_reuse_hits if plan is not None else 0
+        pair_reuse_before = plan.pair_reuse_hits if plan is not None else 0
+        pair_patch_before = plan.pair_patch_hits if plan is not None else 0
+        pending: list[tuple[int, np.ndarray, np.ndarray]] = []
+        for index, bucket in enumerate(buckets):
             if bucket.size == 0:
                 continue
             if simulate:
@@ -118,6 +239,7 @@ def modularity_optimization(
                 )
                 profile.add(stats)
             else:
+                bucket_plan = plan.for_bucket(index) if plan is not None else None
                 new_comm = compute_moves_vectorized(
                     graph,
                     comm,
@@ -127,35 +249,102 @@ def modularity_optimization(
                     k=k,
                     singleton_constraint=config.singleton_constraint,
                     resolution=config.resolution,
+                    plan=bucket_plan,
                 )
             if config.relaxed_updates:
-                pending.append((bucket.members, new_comm))
+                pending.append((index, bucket.members, new_comm))
             else:
                 changed = new_comm != comm[bucket.members]
                 if changed.any():
-                    moved += int(changed.sum())
+                    num_changed = int(changed.sum())
+                    moved += num_changed
+                    moves_per_bucket[index] = num_changed
                     movers = bucket.members[changed]
                     old = comm[movers]
                     new = new_comm[changed]
-                    comm[movers] = new
-                    # Incremental a_c / size update (Alg. 1 line 11): only
-                    # the movers' source and target communities change.
-                    np.add.at(volumes, old, -k[movers])
-                    np.add.at(volumes, new, k[movers])
-                    np.add.at(sizes, old, -1)
-                    np.add.at(sizes, new, 1)
+                    if incremental:
+                        _commit_moves(
+                            plan, comm, comm32, movers, old, new, volumes, sizes, k
+                        )
+                    else:
+                        comm[movers] = new
+                        # Incremental a_c / size update (Alg. 1 line 11):
+                        # only the movers' source and target communities
+                        # change.
+                        np.add.at(volumes, old, -k[movers])
+                        np.add.at(volumes, new, k[movers])
+                        np.add.at(sizes, old, -1)
+                        np.add.at(sizes, new, 1)
         if config.relaxed_updates:
-            for members, new_comm in pending:
+            for index, members, new_comm in pending:
                 changed = new_comm != comm[members]
-                moved += int(changed.sum())
+                num_changed = int(changed.sum())
+                moved += num_changed
+                moves_per_bucket[index] += num_changed
                 comm[members] = new_comm
             volumes = np.bincount(comm, weights=k, minlength=n)
             sizes = np.bincount(comm, minlength=n)
 
-        new_q = _partition_modularity(comm, edges_view, k, two_m, config.resolution)
+        sweep_stats = SweepStats(
+            sweep=sweeps,
+            moves_per_bucket=moves_per_bucket,
+            gather_reuse_hits=(
+                plan.gather_reuse_hits - reuse_before if plan is not None else 0
+            ),
+            pair_reuse_hits=(
+                plan.pair_reuse_hits - pair_reuse_before if plan is not None else 0
+            ),
+            pair_patch_hits=(
+                plan.pair_patch_hits - pair_patch_before if plan is not None else 0
+            ),
+        )
+        if incremental:
+            movers_sweep = np.flatnonzero(comm != comm_before)
+            if movers_sweep.size:
+                # When the movers' rows rival the whole edge list, a
+                # fresh exact scan is both cheaper and drift-free.
+                mover_edges = int(graph.degrees[movers_sweep].sum())
+                if _DELTA_EDGE_FACTOR * mover_edges >= dst.size:
+                    internal = float(w[comm[src] == comm[dst]].sum())
+                else:
+                    internal += _sweep_internal_delta(
+                        comm_before=comm_before,
+                        comm=comm,
+                        movers=movers_sweep,
+                        graph=graph,
+                        scratch=plan.mover_scratch,
+                    )
+            # The sum(a_c^2) term is O(n) to evaluate exactly — only the
+            # edge-scan term is worth tracking incrementally.
+            vol_sq = float(np.square(volumes).sum())
+            new_q = internal / two_m - config.resolution * vol_sq / (two_m * two_m)
+            if sweeps % config.exact_q_interval == 0:
+                exact_q = _partition_modularity(
+                    comm, edges_view, k, two_m, config.resolution
+                )
+                sweep_stats.q_exact = exact_q
+                sweep_stats.q_incremental = new_q
+                # Snap the tracker so drift cannot compound across
+                # recompute windows.
+                internal = float(w[comm[src] == comm[dst]].sum())
+                new_q = exact_q
+            else:
+                sweep_stats.q_incremental = new_q
+        else:
+            new_q = _partition_modularity(comm, edges_view, k, two_m, config.resolution)
+            sweep_stats.q_incremental = new_q
+            sweep_stats.q_exact = new_q
+        profile.add_sweep(sweep_stats)
         gain = new_q - q
         q = new_q
         if moved == 0 or gain < threshold:
             break
+
+    if incremental and profile.sweeps and profile.sweeps[-1].q_exact is None:
+        # Final reported Q must come from the exact recompute (and the
+        # last sweep's drift becomes observable).
+        exact_q = _partition_modularity(comm, edges_view, k, two_m, config.resolution)
+        profile.sweeps[-1].q_exact = exact_q
+        q = exact_q
 
     return OptimizationOutcome(comm, sweeps, q, profile)

@@ -119,13 +119,24 @@ class CommunityHashTable:
             self.add(int(c), float(w))
 
     def get(self, community: int) -> float:
-        """Accumulated weight toward ``community`` (0.0 if absent)."""
+        """Accumulated weight toward ``community`` (0.0 if absent).
+
+        Charges ``stats.probes`` / ``max_probe_length`` exactly like
+        :meth:`add`: a lookup walks the same double-hashing slot sequence
+        and pays the same memory traffic, so the cost model must see it.
+        """
+        probe_length = 0
+        result = 0.0
         for pos in self.slot_sequence(community):
+            probe_length += 1
+            self.stats.probes += 1
             if self.comm[pos] == community:
-                return float(self.weight[pos])
+                result = float(self.weight[pos])
+                break
             if self.comm[pos] == EMPTY:
-                return 0.0
-        return 0.0
+                break
+        self.stats.max_probe_length = max(self.stats.max_probe_length, probe_length)
+        return result
 
     def items(self) -> list[tuple[int, float]]:
         """All ``(community, weight)`` entries, slot order."""

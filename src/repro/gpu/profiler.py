@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..metrics.timing import SweepStats
 from .hashtable import HashTableStats
 
 __all__ = ["KernelStats", "PhaseProfile", "RunProfile"]
@@ -73,13 +74,50 @@ class KernelStats:
 
 @dataclass
 class PhaseProfile:
-    """All kernel launches of one phase (optimization or aggregation)."""
+    """All kernel launches of one phase (optimization or aggregation).
+
+    ``sweeps`` additionally carries the per-sweep observability records
+    (per-bucket move counts, gather-reuse hits, incremental-vs-exact Q
+    drift) of a modularity-optimization phase; aggregation phases leave
+    it empty.
+    """
 
     kernels: list[KernelStats] = field(default_factory=list)
+    sweeps: list[SweepStats] = field(default_factory=list)
 
     def add(self, stats: KernelStats) -> None:
         """Record one kernel launch."""
         self.kernels.append(stats)
+
+    def add_sweep(self, stats: SweepStats) -> None:
+        """Record one sweep's observability counters."""
+        self.sweeps.append(stats)
+
+    @property
+    def total_moves(self) -> int:
+        """Vertices moved across all recorded sweeps."""
+        return sum(s.moved for s in self.sweeps)
+
+    @property
+    def gather_reuse_hits(self) -> int:
+        """Cached bucket gathers served across all recorded sweeps."""
+        return sum(s.gather_reuse_hits for s in self.sweeps)
+
+    @property
+    def pair_reuse_hits(self) -> int:
+        """Cached pair structures served across all recorded sweeps."""
+        return sum(s.pair_reuse_hits for s in self.sweeps)
+
+    @property
+    def pair_patch_hits(self) -> int:
+        """Cached pair structures patched in place across all sweeps."""
+        return sum(s.pair_patch_hits for s in self.sweeps)
+
+    @property
+    def max_q_drift(self) -> float:
+        """Worst incremental-vs-exact modularity drift observed."""
+        drifts = [s.q_drift for s in self.sweeps if s.q_drift is not None]
+        return max(drifts, default=0.0)
 
     @property
     def warp_cycles(self) -> float:

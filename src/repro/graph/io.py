@@ -12,10 +12,8 @@ Three formats cover what the paper's tool-chain consumed:
 
 from __future__ import annotations
 
-import io as _io
 from pathlib import Path
 
-import numpy as np
 
 from .build import from_edges, from_scipy
 from .csr import CSRGraph

@@ -23,7 +23,7 @@ from .quality import (
     partition_stats,
 )
 from .teps import TepsResult, teps
-from .timing import RunTimings, StageTiming, Stopwatch
+from .timing import RunTimings, StageTiming, Stopwatch, SweepStats
 
 __all__ = [
     "modularity",
@@ -47,4 +47,5 @@ __all__ = [
     "RunTimings",
     "StageTiming",
     "Stopwatch",
+    "SweepStats",
 ]

@@ -11,7 +11,62 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["StageTiming", "RunTimings", "Stopwatch"]
+__all__ = ["SweepStats", "StageTiming", "RunTimings", "Stopwatch"]
+
+
+@dataclass
+class SweepStats:
+    """Per-sweep observability record of one modularity-optimization sweep.
+
+    Attributes
+    ----------
+    sweep:
+        1-based sweep index within the phase.
+    moves_per_bucket:
+        Vertices moved by each degree bucket this sweep (parallel to the
+        phase's bucket list; empty buckets report 0).
+    gather_reuse_hits:
+        Bucket edge-gathers served from the :class:`SweepPlan` cache this
+        sweep instead of being rebuilt (0 on the first sweep and whenever
+        no plan is active).
+    pair_reuse_hits:
+        Buckets whose cached sorted ``(vertex, community)`` pair
+        structure was still valid this sweep (no destination vertex of
+        the bucket had changed community), skipping the sort and
+        segmented reduction entirely.
+    pair_patch_hits:
+        Buckets whose cached pair structure was patched in place from
+        the moved destination vertices' edges instead of being rebuilt
+        (only possible with integral edge weights, where float summation
+        order cannot change the sums).
+    q_incremental:
+        Modularity after the sweep as tracked by the incremental update
+        (equals the exact value when no incremental tracking is active).
+    q_exact:
+        Exact recomputed modularity, only set on sweeps where the
+        periodic recompute ran (every ``exact_q_interval`` sweeps and at
+        phase end).
+    """
+
+    sweep: int
+    moves_per_bucket: list[int] = field(default_factory=list)
+    gather_reuse_hits: int = 0
+    pair_reuse_hits: int = 0
+    pair_patch_hits: int = 0
+    q_incremental: float = 0.0
+    q_exact: float | None = None
+
+    @property
+    def moved(self) -> int:
+        """Total vertices moved this sweep."""
+        return sum(self.moves_per_bucket)
+
+    @property
+    def q_drift(self) -> float | None:
+        """|incremental - exact| modularity, where exact was recomputed."""
+        if self.q_exact is None:
+            return None
+        return abs(self.q_incremental - self.q_exact)
 
 
 @dataclass
@@ -25,11 +80,33 @@ class StageTiming:
     num_edges: int = 0
     sweeps: int = 0
     modularity: float = 0.0
+    sweep_stats: list[SweepStats] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
         """Optimization plus aggregation time."""
         return self.optimization_seconds + self.aggregation_seconds
+
+    @property
+    def gather_reuse_hits(self) -> int:
+        """Cached bucket gathers served across the stage's sweeps."""
+        return sum(s.gather_reuse_hits for s in self.sweep_stats)
+
+    @property
+    def pair_reuse_hits(self) -> int:
+        """Cached pair structures served across the stage's sweeps."""
+        return sum(s.pair_reuse_hits for s in self.sweep_stats)
+
+    @property
+    def pair_patch_hits(self) -> int:
+        """Cached pair structures patched in place across the stage."""
+        return sum(s.pair_patch_hits for s in self.sweep_stats)
+
+    @property
+    def max_q_drift(self) -> float:
+        """Worst incremental-vs-exact modularity drift observed."""
+        drifts = [s.q_drift for s in self.sweep_stats if s.q_drift is not None]
+        return max(drifts, default=0.0)
 
 
 @dataclass
@@ -65,6 +142,26 @@ class RunTimings:
         """Fraction of total time spent optimizing (paper reports ~0.7)."""
         total = self.total_seconds
         return self.optimization_seconds / total if total > 0 else 0.0
+
+    @property
+    def gather_reuse_hits(self) -> int:
+        """Cached bucket gathers served across the whole run."""
+        return sum(s.gather_reuse_hits for s in self.stages)
+
+    @property
+    def pair_reuse_hits(self) -> int:
+        """Cached pair structures served across the whole run."""
+        return sum(s.pair_reuse_hits for s in self.stages)
+
+    @property
+    def pair_patch_hits(self) -> int:
+        """Cached pair structures patched in place across the whole run."""
+        return sum(s.pair_patch_hits for s in self.stages)
+
+    @property
+    def max_q_drift(self) -> float:
+        """Worst incremental-vs-exact modularity drift across stages."""
+        return max((s.max_q_drift for s in self.stages), default=0.0)
 
 
 class Stopwatch:

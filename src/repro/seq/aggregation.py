@@ -16,7 +16,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.csr import CSRGraph
-from ..metrics.quality import normalize_labels
 
 __all__ = ["aggregate"]
 

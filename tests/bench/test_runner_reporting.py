@@ -1,6 +1,5 @@
 """Tests for the experiment runner and reporting helpers."""
 
-import numpy as np
 import pytest
 
 from repro.bench.reporting import banner, format_series, format_table, geometric_mean

@@ -1,6 +1,5 @@
 """Tests for the Table-1 analog suite."""
 
-import numpy as np
 import pytest
 
 from repro.bench.suite import SUITE, SuiteEntry, load_suite_graph, small_suite, suite_names

@@ -1,7 +1,6 @@
 """Tests for computeMove (Alg. 2) — both engines against the Eq.-2 oracle."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 
 from repro.core.buckets import degree_buckets
@@ -263,3 +262,39 @@ def test_bucket7_multiple_vertices_share_blocks():
     # less than one table per vertex
     per_vertex_alloc = 12 * (1.5 * 330)
     assert stats.global_bytes < hub_count * per_vertex_alloc * 0.8
+
+
+# --------------------------------------------------------------------- #
+# Combined-key overflow: the lexsort fallback
+# --------------------------------------------------------------------- #
+def test_radix_overflow_falls_back_to_lexsort(monkeypatch):
+    """Shrinking the key ceiling must not change the permutation."""
+    import repro.core.compute_move as cm
+
+    rng = np.random.default_rng(0)
+    owner_local = np.sort(rng.integers(0, 5, size=200))
+    dst_comm = rng.integers(0, 40, size=200)
+    n = 40
+    baseline = cm.segment_sort_order(owner_local, dst_comm, n)
+    monkeypatch.setattr(cm, "_MAX_RADIX_KEY", 10)  # force the fallback
+    fallback = cm.segment_sort_order(owner_local, dst_comm, n)
+    assert np.array_equal(baseline, fallback)
+    assert np.array_equal(fallback, np.lexsort((dst_comm, owner_local)))
+
+
+def test_radix_overflow_run_is_identical(monkeypatch):
+    """A full run through the overflow path reproduces the radix run."""
+    import repro.core.compute_move as cm
+    import repro.core.sweep_plan as sp
+    from repro.core.gpu_louvain import gpu_louvain
+
+    g, _ = lfr_like(150, 4, avg_degree=8, mixing=0.25)
+    expected = gpu_louvain(g, use_sweep_plan=False)
+
+    monkeypatch.setattr(cm, "_MAX_RADIX_KEY", 0)
+    monkeypatch.setattr(sp, "_INT32_MAX", -1)  # plan: no int32 keys
+    monkeypatch.setattr(sp, "_INT64_MAX", -1)  # plan: no combined keys at all
+    for flag in (False, True):
+        out = gpu_louvain(g, use_sweep_plan=flag)
+        assert np.array_equal(out.membership, expected.membership)
+        assert out.modularity == expected.modularity

@@ -7,7 +7,7 @@ import pytest
 from repro.core.config import GPULouvainConfig
 from repro.core.gpu_louvain import gpu_louvain
 from repro.graph.build import from_edges
-from repro.graph.generators import karate_club, lfr_like
+from repro.graph.generators import lfr_like
 from repro.gpu.costmodel import CostModel, CostParameters
 from repro.gpu.device import TESLA_K40M, DeviceSpec
 

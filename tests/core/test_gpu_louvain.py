@@ -151,3 +151,30 @@ def test_max_levels_respected(karate):
 def test_relaxed_updates_end_to_end(karate):
     result = gpu_louvain(karate, relaxed_updates=True)
     assert result.modularity > 0.35
+
+
+def test_degenerate_identity_level_not_recorded():
+    """A no-op tail level (identity map, no contraction) is dropped."""
+    # Two disjoint triangles collapse to two supernodes in one level; the
+    # next optimization cannot move anything, so its aggregation maps the
+    # 2-vertex graph onto itself — a degenerate level that must not be
+    # recorded and must not change the flattened membership.
+    g = from_edges([0, 1, 2, 3, 4, 5], [1, 2, 0, 4, 5, 3])
+    result = gpu_louvain(g)
+    for mapping in result.levels[1:]:
+        assert not np.array_equal(
+            mapping, np.arange(mapping.size, dtype=np.int64)
+        )
+    from repro.result import flatten_levels
+
+    assert np.array_equal(flatten_levels(list(result.levels)), result.membership)
+    assert len(result.levels) == len(result.timings.stages)
+    assert result.num_communities == 2
+
+
+def test_single_level_degenerate_input_kept():
+    """An edgeless graph keeps its only (identity) level for well-formedness."""
+    g = from_edges([], [], num_vertices=4)
+    result = gpu_louvain(g)
+    assert len(result.levels) == 1
+    assert np.array_equal(result.membership, np.arange(4))

@@ -6,7 +6,7 @@ import pytest
 from repro.core.config import GPULouvainConfig
 from repro.core.mod_opt import modularity_optimization
 from repro.graph.build import from_edges
-from repro.graph.generators import caveman, karate_club, lfr_like
+from repro.graph.generators import caveman, lfr_like
 from repro.metrics.modularity import modularity
 
 

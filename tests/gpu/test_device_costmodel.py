@@ -5,7 +5,7 @@ import pytest
 
 from repro.gpu.atomics import AtomicArray
 from repro.gpu.costmodel import CostModel, CostParameters, WorkItem, warp_schedule
-from repro.gpu.device import SMALL_DEVICE, TESLA_K40M, DeviceSpec
+from repro.gpu.device import TESLA_K40M, DeviceSpec
 from repro.gpu.profiler import KernelStats, PhaseProfile, RunProfile
 
 

@@ -161,3 +161,23 @@ def test_never_overflows_at_paper_sizing(degree):
     for c in range(degree):
         table.add(c, 1.0)
     assert len(table.items()) == degree
+
+
+def test_get_charges_probe_stats():
+    """Lookups pay the same probe accounting as inserts (pinned counts)."""
+    table = CommunityHashTable(4, size=7)
+    table.add(1, 1.0)  # slot h1(1)=1, empty: exactly one probe
+    assert table.stats.probes == 1
+    assert table.stats.max_probe_length == 1
+
+    assert table.get(1) == 1.0  # direct hit at slot 1: one probe
+    assert table.stats.probes == 2
+
+    assert table.get(0) == 0.0  # slot h1(0)=0 empty: one probe
+    assert table.stats.probes == 3
+
+    # 8 collides with 1 at slot 1 (8 % 7 == 1), steps by h2(8)=3 to the
+    # empty slot 4: exactly two probes, raising the max probe length.
+    assert table.get(8) == 0.0
+    assert table.stats.probes == 5
+    assert table.stats.max_probe_length == 2

@@ -1,6 +1,5 @@
 """Tests for repro.gpu.primes."""
 
-import numpy as np
 
 from repro.gpu.primes import hash_table_size, next_prime_above, primes_up_to
 

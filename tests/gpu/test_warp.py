@@ -5,7 +5,7 @@ import pytest
 
 from repro.gpu.costmodel import warp_times
 from repro.gpu.device import SMALL_DEVICE, TESLA_K40M
-from repro.gpu.warp import ScheduleOutcome, simulate_schedule
+from repro.gpu.warp import simulate_schedule
 
 
 def test_empty_schedule():

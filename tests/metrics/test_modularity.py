@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.graph.build import from_edges
-from repro.graph.generators import caveman, complete, karate_club, ring
+from repro.graph.generators import caveman, complete
 from repro.metrics.modularity import (
     community_internal_weights,
     community_volumes,

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.graph.build import from_edges
-from repro.graph.generators import caveman, complete, karate_club
+from repro.graph.generators import caveman
 from repro.metrics.partition_measures import (
     conductance,
     coverage,

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.graph.build import from_edges
-from repro.graph.generators import caveman, karate_club, lfr_like
+from repro.graph.generators import caveman, lfr_like
 from repro.metrics.modularity import modularity
 from repro.metrics.quality import adjusted_rand_index
 from repro.parallel.chunked import chunked_one_level

@@ -1,6 +1,5 @@
 """Tests for the work-distribution cost comparison (the bucketing thesis)."""
 
-import pytest
 
 from repro.graph.generators import lattice3d, rmat, star
 from repro.gpu.costmodel import CostModel

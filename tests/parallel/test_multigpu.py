@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph.generators import caveman, karate_club, lfr_like
+from repro.graph.generators import caveman, lfr_like
 from repro.metrics.modularity import modularity
 from repro.metrics.quality import adjusted_rand_index
 from repro.parallel.multigpu import cut_statistics, multigpu_louvain

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.graph.build import from_edges
-from repro.graph.generators import caveman, karate_club
+from repro.graph.generators import caveman
 from repro.graph.validation import validate
 from repro.metrics.modularity import modularity
 from repro.seq.aggregation import aggregate

@@ -7,7 +7,6 @@ from repro.graph.build import from_edges
 from repro.graph.generators import (
     caveman,
     complete,
-    karate_club,
     lfr_like,
     planted_partition,
     ring,
