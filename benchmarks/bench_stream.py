@@ -1,0 +1,228 @@
+"""Streaming subsystem: incremental vs. cold re-clustering on edge batches.
+
+Each case replays ``BATCHES`` random update batches (~0.5% edge churn,
+one fifth deletions) through a :class:`~repro.stream.StreamSession`
+(``screening="local"``, ``frontier_scope="endpoints"`` — both suite
+graphs hold a handful of giant communities, where the community screen
+degenerates to the full vertex set) and, after every batch, re-clusters
+the updated graph cold with :func:`~repro.core.gpu_louvain.gpu_louvain`
+for comparison (min of ``COLD_ROUNDS`` runs).
+
+Acceptance:
+
+* the incremental path is >= ``MIN_SPEEDUP`` x faster than cold
+  (median over batches, per graph);
+* the streamed partition agrees with cold — NMI >= 0.95, *except* where
+  the cold solution itself is unstable: when consecutive cold runs on
+  0.5%-churned graphs agree less than that (solution degeneracy, e.g.
+  nlpkkt200's near-tied partitions), the bar is that instability
+  ceiling, or the streamed Q must match/beat cold's;
+* every reported Q is an exact recompute on the updated graph
+  (drift <= 1e-9) — speed never hides quality.
+
+Writes ``benchmarks/results/bench_stream.json`` (uploaded as a CI
+artifact) plus the usual text table.
+"""
+
+from __future__ import annotations
+
+import json
+from time import perf_counter
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import banner, format_table
+from repro.bench.suite import SUITE
+from repro.core.gpu_louvain import gpu_louvain
+from repro.metrics.modularity import modularity
+from repro.metrics.quality import normalized_mutual_information
+from repro.stream import StreamSession
+
+from _util import RESULTS_DIR, emit
+
+#: The suite's two largest graphs by paper edge count.
+CASES = (
+    ("uk-2002", 5.0),
+    ("nlpkkt200", 2.0),
+)
+
+BATCHES = 4
+CHURN = 0.005  # fraction of edges changed per batch (<= 1% per ISSUE)
+REMOVE_FRACTION = 0.2
+COLD_ROUNDS = 2
+
+#: Acceptance bar: median incremental speedup vs cold re-clustering.
+MIN_SPEEDUP = 5.0
+MIN_NMI = 0.95
+
+
+def _random_batch(graph, count: int, rng: np.random.Generator):
+    """~80% random insertions, ~20% deletions of existing edges."""
+    num_remove = int(count * REMOVE_FRACTION)
+    num_add = count - num_remove
+    n = graph.num_vertices
+    au = rng.integers(0, n, num_add)
+    av = (au + rng.integers(1, n, num_add)) % n
+    eu, ev, _ = graph.edge_list()
+    not_loop = eu != ev
+    eu, ev = eu[not_loop], ev[not_loop]
+    pick = rng.choice(eu.size, size=min(num_remove, eu.size), replace=False)
+    return (au, av, None), (eu[pick], ev[pick])
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    cases = []
+    for name, scale in CASES:
+        entry = next(e for e in SUITE if e.name == name)
+        graph = entry.load(scale)
+        rng = np.random.default_rng(7)
+        session = StreamSession(
+            graph, screening="local", frontier_scope="endpoints"
+        )
+        prev_cold = session.result  # cold-equivalent baseline partition
+        per_batch = []
+        batch_edges = max(1, int(graph.num_edges * CHURN))
+        for _ in range(BATCHES):
+            add, remove = _random_batch(session.graph, batch_edges, rng)
+            result = session.apply(add=add, remove=remove)
+
+            cold_seconds = np.inf
+            cold = None
+            for _ in range(COLD_ROUNDS):
+                start = perf_counter()
+                cold = gpu_louvain(session.graph)
+                cold_seconds = min(cold_seconds, perf_counter() - start)
+
+            nmi = normalized_mutual_information(
+                result.membership, cold.membership
+            )
+            # How much do *cold* solutions drift across one batch of the
+            # same churn?  Below this, stream-vs-cold NMI is meaningless.
+            stability = normalized_mutual_information(
+                cold.membership, prev_cold.membership
+            )
+            prev_cold = cold
+            q_check = modularity(session.graph, result.membership)
+            per_batch.append(
+                {
+                    "batch": result.batch,
+                    "mode": result.mode,
+                    "edges_added": result.edges_added,
+                    "edges_removed": result.edges_removed,
+                    "frontier_size": result.frontier_size,
+                    "frontier_fraction": result.frontier_fraction,
+                    "sweeps": sum(result.sweeps_per_level),
+                    "stream_seconds": result.seconds,
+                    "cold_seconds": cold_seconds,
+                    "speedup": cold_seconds / max(result.seconds, 1e-12),
+                    "q_stream": result.modularity,
+                    "q_cold": cold.modularity,
+                    "q_drift": abs(result.modularity - q_check),
+                    "nmi_vs_cold": nmi,
+                    "cold_stability_nmi": stability,
+                }
+            )
+        cases.append(
+            {
+                "graph": name,
+                "scale": scale,
+                "num_vertices": graph.num_vertices,
+                "num_edges": graph.num_edges,
+                "batch_edges": batch_edges,
+                "churn": CHURN,
+                "batches": per_batch,
+            }
+        )
+    return cases
+
+
+def test_stream_quality(measurements):
+    """No silent drift; partition agreement modulo cold-run degeneracy."""
+    for case in measurements:
+        for row in case["batches"]:
+            assert row["q_drift"] <= 1e-9, (case["graph"], row["batch"])
+            bar = min(MIN_NMI, row["cold_stability_nmi"])
+            agrees = row["nmi_vs_cold"] >= bar - 1e-12
+            as_good = row["q_stream"] >= row["q_cold"] - 1e-12
+            assert agrees or as_good, (case["graph"], row)
+
+
+def test_stream_speedup(benchmark, measurements):
+    name0, scale0 = CASES[0]
+    entry0 = next(e for e in SUITE if e.name == name0)
+    graph0 = entry0.load(scale0)
+    warm = StreamSession(graph0, screening="local", frontier_scope="endpoints")
+    rng = np.random.default_rng(11)
+    batch_edges0 = max(1, int(graph0.num_edges * CHURN))
+    benchmark.pedantic(
+        lambda: warm.apply(add=_random_batch(warm.graph, batch_edges0, rng)[0]),
+        rounds=2,
+        iterations=1,
+    )
+
+    table_rows = []
+    for case in measurements:
+        speedups = sorted(row["speedup"] for row in case["batches"])
+        median = speedups[len(speedups) // 2]
+        for row in case["batches"]:
+            table_rows.append(
+                (
+                    case["graph"],
+                    row["batch"],
+                    row["mode"],
+                    row["frontier_size"],
+                    row["sweeps"],
+                    row["stream_seconds"] * 1e3,
+                    row["cold_seconds"] * 1e3,
+                    row["speedup"],
+                    row["q_stream"],
+                    row["q_cold"],
+                    row["nmi_vs_cold"],
+                )
+            )
+        case["median_speedup"] = median
+
+    text = "\n".join(
+        [
+            banner("Streaming: incremental vs cold re-clustering"),
+            f"{BATCHES} batches x {CHURN:.1%} churn "
+            f"({REMOVE_FRACTION:.0%} deletions); cold = min of "
+            f"{COLD_ROUNDS} runs",
+            "",
+            format_table(
+                (
+                    "graph",
+                    "batch",
+                    "mode",
+                    "frontier",
+                    "sweeps",
+                    "stream ms",
+                    "cold ms",
+                    "speedup",
+                    "Q stream",
+                    "Q cold",
+                    "NMI",
+                ),
+                table_rows,
+                floatfmt=".4g",
+            ),
+        ]
+    )
+    emit("bench_stream", text)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "benchmark": "bench_stream",
+        "min_speedup_required": MIN_SPEEDUP,
+        "cases": measurements,
+    }
+    json_path = RESULTS_DIR / "bench_stream.json"
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[json written to {json_path}]")
+
+    for case in measurements:
+        assert case["median_speedup"] >= MIN_SPEEDUP, (
+            f"{case['graph']}: {case['median_speedup']:.2f}x < {MIN_SPEEDUP}x"
+        )

@@ -15,6 +15,7 @@ Sub-packages:
 * :mod:`repro.seq`      — sequential Louvain baseline
 * :mod:`repro.gpu`      — simulated GPU substrate
 * :mod:`repro.core`     — the paper's bucketed edge-parallel algorithm
+* :mod:`repro.stream`   — incremental Louvain over edge-batch updates
 * :mod:`repro.parallel` — comparator parallel implementations
 * :mod:`repro.bench`    — the Table-1 analog suite and experiment runner
 """
@@ -22,8 +23,9 @@ Sub-packages:
 from .core import GPULouvainConfig, GPULouvainResult, gpu_louvain
 from .graph import CSRGraph, from_edges, load_graph
 from .metrics import modularity
-from .result import LouvainResult
+from .result import LouvainResult, StreamResult
 from .seq import louvain as sequential_louvain
+from .stream import StreamConfig, StreamSession
 
 __version__ = "1.0.0"
 
@@ -32,6 +34,9 @@ __all__ = [
     "GPULouvainConfig",
     "GPULouvainResult",
     "sequential_louvain",
+    "StreamSession",
+    "StreamConfig",
+    "StreamResult",
     "CSRGraph",
     "from_edges",
     "load_graph",

@@ -4,6 +4,7 @@ Commands
 --------
 ``info``      print a graph file's structural statistics
 ``detect``    run community detection and write/print the membership
+``stream``    incremental detection over batches of edge updates
 ``generate``  synthesise a graph from one of the generator families
 ``suite``     list or materialise the Table-1 analog benchmark suite
 
@@ -12,6 +13,8 @@ Examples::
     python -m repro generate social -n 5000 -m 8 -o social.txt
     python -m repro info social.txt
     python -m repro detect social.txt --solver gpu -o communities.txt
+    python -m repro stream social.txt --updates batches.txt -o final.txt
+    python -m repro stream social.txt --synthetic 200 --batches 5
     python -m repro suite --name road_usa -o road.txt
 """
 
@@ -65,6 +68,50 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("-o", "--output", help="write 'vertex community' lines here")
     detect.add_argument("--levels", action="store_true",
                         help="also print the per-level hierarchy summary")
+
+    stream = sub.add_parser(
+        "stream", help="incremental detection over edge-update batches"
+    )
+    stream.add_argument("path", help="input graph file")
+    source = stream.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--updates", metavar="FILE",
+        help="update file: '+ u v [w]' / '- u v' lines; blank line or "
+             "'--' separates batches; '#' comments",
+    )
+    source.add_argument(
+        "--synthetic", type=int, metavar="EDGES",
+        help="generate EDGES random updates per batch instead",
+    )
+    stream.add_argument("--batches", type=int, default=5,
+                        help="number of synthetic batches (default 5)")
+    stream.add_argument("--remove-fraction", type=float, default=0.2,
+                        help="fraction of synthetic updates that delete "
+                             "existing edges (default 0.2)")
+    stream.add_argument("--seed", type=int, default=0,
+                        help="rng seed for --synthetic")
+    stream.add_argument("--screening", choices=["local", "exact"], default="local",
+                        help="delta-screening mode (exact = bit-parity with a "
+                             "full warm-started run)")
+    stream.add_argument("--frontier-scope", choices=["community", "endpoints"],
+                        default="community",
+                        help="seed rule: full community screen, or endpoints "
+                             "only (for graphs with few large communities)")
+    stream.add_argument("--full-rerun-interval", type=int, default=0,
+                        help="run the exact full pipeline every K batches and "
+                             "report NMI/Q drift (0 = never)")
+    stream.add_argument("--frontier-limit", type=float, default=0.5,
+                        help="frontier fraction above which a batch falls back "
+                             "to the full pipeline")
+    stream.add_argument("--threshold-bin", type=float, default=1e-2)
+    stream.add_argument("--threshold-final", type=float, default=1e-6)
+    stream.add_argument("--bin-vertex-limit", type=int, default=100_000)
+    stream.add_argument("--resolution", type=float, default=1.0)
+    stream.add_argument("--warm-start", metavar="FILE",
+                        help="previous 'vertex community' file for the "
+                             "initial clustering")
+    stream.add_argument("-o", "--output",
+                        help="write the final 'vertex community' lines here")
 
     generate = sub.add_parser("generate", help="synthesise a graph")
     generate.add_argument(
@@ -197,6 +244,142 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_update_batches(
+    path: str,
+) -> list[tuple[tuple | None, tuple | None]]:
+    """Parse an update file into ``(add, remove)`` batch tuples.
+
+    Lines are ``+ u v [w]`` (insert; default weight 1) or ``- u v``
+    (delete).  A blank line or a ``--`` line closes the current batch;
+    ``#`` starts a comment.
+    """
+    batches: list[tuple[tuple | None, tuple | None]] = []
+    add_u: list[int] = []
+    add_v: list[int] = []
+    add_w: list[float] = []
+    rem_u: list[int] = []
+    rem_v: list[int] = []
+
+    def flush() -> None:
+        nonlocal add_u, add_v, add_w, rem_u, rem_v
+        if not add_u and not rem_u:
+            return
+        add = (
+            (np.array(add_u), np.array(add_v), np.array(add_w))
+            if add_u
+            else None
+        )
+        remove = (np.array(rem_u), np.array(rem_v)) if rem_u else None
+        batches.append((add, remove))
+        add_u, add_v, add_w, rem_u, rem_v = [], [], [], [], []
+
+    with open(path) as handle:
+        for lineno, raw in enumerate(handle, 1):
+            line = raw.split("#", 1)[0].strip()
+            if not line or line == "--":
+                flush()
+                continue
+            parts = line.split()
+            op = parts[0]
+            if op == "+" and len(parts) in (3, 4):
+                add_u.append(int(parts[1]))
+                add_v.append(int(parts[2]))
+                add_w.append(float(parts[3]) if len(parts) == 4 else 1.0)
+            elif op == "-" and len(parts) == 3:
+                rem_u.append(int(parts[1]))
+                rem_v.append(int(parts[2]))
+            else:
+                raise ValueError(
+                    f"{path}:{lineno}: expected '+ u v [w]' or '- u v', got {raw!r}"
+                )
+    flush()
+    return batches
+
+
+def _synthetic_batches(
+    session, num_batches: int, edges_per_batch: int, remove_fraction: float, seed: int
+):
+    """Yield random ``(add, remove)`` batches against the session's graph."""
+    rng = np.random.default_rng(seed)
+    for _ in range(num_batches):
+        graph = session.graph
+        n = graph.num_vertices
+        num_remove = int(edges_per_batch * remove_fraction)
+        num_add = edges_per_batch - num_remove
+        add = None
+        if num_add:
+            au = rng.integers(0, n, num_add)
+            av = (au + rng.integers(1, n, num_add)) % n
+            add = (au, av, None)
+        remove = None
+        if num_remove:
+            eu, ev, _ = graph.edge_list()
+            not_loop = eu != ev
+            eu, ev = eu[not_loop], ev[not_loop]
+            if eu.size:
+                pick = rng.choice(eu.size, size=min(num_remove, eu.size), replace=False)
+                remove = (eu[pick], ev[pick])
+        yield add, remove
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .graph.io import load_graph
+    from .stream import StreamSession
+
+    graph = load_graph(args.path)
+    initial = None
+    if args.warm_start:
+        initial = _read_membership(args.warm_start, graph.num_vertices)
+    session = StreamSession(
+        graph,
+        screening=args.screening,
+        frontier_scope=args.frontier_scope,
+        full_rerun_interval=args.full_rerun_interval,
+        frontier_fraction_limit=args.frontier_limit,
+        threshold_bin=args.threshold_bin,
+        threshold_final=args.threshold_final,
+        bin_vertex_limit=args.bin_vertex_limit,
+        resolution=args.resolution,
+        initial_membership=initial,
+    )
+    print(f"initial: n={graph.num_vertices} E={graph.num_edges} "
+          f"Q={session.modularity:.6f} "
+          f"communities={session.result.num_communities}")
+
+    if args.updates:
+        batches = _read_update_batches(args.updates)
+    else:
+        batches = _synthetic_batches(
+            session, args.batches, args.synthetic, args.remove_fraction, args.seed
+        )
+
+    header = (f"{'batch':>5s} {'mode':12s} {'+e':>6s} {'-e':>6s} "
+              f"{'frontier':>9s} {'front%':>7s} {'sweeps':>6s} "
+              f"{'Q':>9s} {'dQ_full':>9s} {'NMI':>6s} {'ms':>8s}")
+    print(header)
+    for add, remove in batches:
+        result = session.apply(add=add, remove=remove)
+        sweeps = sum(result.sweeps_per_level)
+        drift = ("-" if result.q_full is None
+                 else f"{result.modularity - result.q_full:+.2e}")
+        nmi = "-" if result.nmi_vs_full is None else f"{result.nmi_vs_full:.3f}"
+        print(f"{result.batch:5d} {result.mode:12s} {result.edges_added:6d} "
+              f"{result.edges_removed:6d} {result.frontier_size:9d} "
+              f"{result.frontier_fraction:7.2%} {sweeps:6d} "
+              f"{result.modularity:9.6f} {drift:>9s} {nmi:>6s} "
+              f"{result.seconds * 1e3:8.1f}")
+
+    print(f"final: E={session.graph.num_edges} Q={session.modularity:.6f} "
+          f"communities={session.result.num_communities}")
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write("# vertex community\n")
+            for v, c in enumerate(session.membership):
+                handle.write(f"{v} {c}\n")
+        print(f"membership written to {args.output}")
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     from .graph import generators as gen
     from .graph.io import write_edge_list
@@ -263,6 +446,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_info(args)
     if args.command == "detect":
         return _cmd_detect(args)
+    if args.command == "stream":
+        return _cmd_stream(args)
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "suite":

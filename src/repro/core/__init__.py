@@ -1,6 +1,6 @@
 """The paper's contribution: degree-bucketed, edge-parallel GPU Louvain."""
 
-from .aggregate import AggregationOutcome, aggregate_gpu
+from .aggregate import AggregationOutcome, aggregate_bincount, aggregate_gpu
 from .buckets import Bucket, bucket_index, community_buckets, degree_buckets
 from .compute_move import (
     compute_moves_simulated,
@@ -10,7 +10,12 @@ from .compute_move import (
 from .config import COMMUNITY_BUCKETS, DEGREE_BUCKETS, GROUP_SIZES, GPULouvainConfig
 from .gpu_louvain import GPULouvainResult, gpu_louvain
 from .hierarchy import Dendrogram, best_level, cut_at_level
-from .mod_opt import OptimizationOutcome, modularity_optimization
+from .mod_opt import (
+    FrontierOutcome,
+    OptimizationOutcome,
+    frontier_modularity_optimization,
+    modularity_optimization,
+)
 from .sweep_plan import BucketPlan, SweepPlan
 
 __all__ = [
@@ -22,7 +27,10 @@ __all__ = [
     "COMMUNITY_BUCKETS",
     "modularity_optimization",
     "OptimizationOutcome",
+    "frontier_modularity_optimization",
+    "FrontierOutcome",
     "aggregate_gpu",
+    "aggregate_bincount",
     "AggregationOutcome",
     "compute_moves_vectorized",
     "compute_moves_simulated",

@@ -34,7 +34,12 @@ from ..gpu.thrust import exclusive_scan, gather_rows
 from .buckets import community_buckets
 from .config import GPULouvainConfig
 
-__all__ = ["AggregationOutcome", "aggregate_gpu"]
+__all__ = ["AggregationOutcome", "aggregate_gpu", "aggregate_bincount"]
+
+#: Dense-table cap for :func:`aggregate_bincount`: fall back to the
+#: hash-based path once ``num_new**2`` exceeds both a multiple of the
+#: edge count and this absolute floor (4M int64 slots = 32 MB).
+_BINCOUNT_TABLE_FLOOR = 1 << 22
 
 
 @dataclass
@@ -163,6 +168,50 @@ def aggregate_gpu(
         new_v = np.empty(0, dtype=np.int64)
         new_w = np.empty(0, dtype=np.float64)
     contracted = from_directed_entries(new_u, new_v, new_w, num_new)
+    return AggregationOutcome(contracted, dense, profile)
+
+
+def aggregate_bincount(
+    graph: CSRGraph,
+    comm: np.ndarray,
+    config: GPULouvainConfig,
+) -> AggregationOutcome:
+    """Contract by partition via one dense ``bincount`` over relabelled keys.
+
+    The streaming fast path: when the contracted graph is small (its
+    dense adjacency ``num_new**2`` fits comfortably next to the edge
+    list), a single weighted histogram over ``dense[u] * num_new +
+    dense[v]`` replaces the community-bucketed sort-and-reduce of
+    :func:`aggregate_gpu`.  The contracted *structure* is identical
+    (same sorted directed entries); merged weights are the same sums in
+    a different association order, hence bit-identical for integral
+    weights and equal to float rounding otherwise.  Falls back to
+    :func:`aggregate_gpu` when the table would be too large or the
+    engine is simulated (the cost model needs the replayed kernels).
+    """
+    comm = np.asarray(comm, dtype=np.int64)
+    if comm.shape != (graph.num_vertices,):
+        raise ValueError("comm must assign one community per vertex")
+    n = graph.num_vertices
+    if config.engine == "simulated" or n == 0:
+        return aggregate_gpu(graph, comm, config)
+
+    com_size = np.bincount(comm, minlength=n)
+    new_id = exclusive_scan((com_size > 0).astype(np.int64))[:-1]
+    dense = new_id[comm]
+    num_new = int(new_id[-1]) + int(com_size[-1] > 0) if n else 0
+    table = num_new * num_new
+    if num_new == 0 or table > max(4 * graph.num_stored_edges, _BINCOUNT_TABLE_FLOOR):
+        return aggregate_gpu(graph, comm, config)
+
+    profile = PhaseProfile()
+    key = dense[graph.vertex_of_edge] * np.int64(num_new) + dense[graph.indices]
+    counts = np.bincount(key, minlength=table)
+    sums = np.bincount(key, weights=graph.weights, minlength=table)
+    present = np.flatnonzero(counts)
+    new_u = present // num_new
+    new_v = present % num_new
+    contracted = from_directed_entries(new_u, new_v, sums[present], num_new)
     return AggregationOutcome(contracted, dense, profile)
 
 

@@ -411,7 +411,74 @@ class SweepPlan:
     gather_reuse_hits: int = 0
     pair_reuse_hits: int = 0
     pair_patch_hits: int = 0
+    shared_comm32: np.ndarray | None = field(default=None, repr=False)
     _serves: list[int] = field(default_factory=list, repr=False)
+
+    @staticmethod
+    def _bucket_plan(
+        graph: CSRGraph, bucket: Bucket, n: int, k: np.ndarray, integral: bool
+    ) -> BucketPlan:
+        """Build one bucket's gathered edge arrays (no owner wiring)."""
+        if bucket.size == 0:
+            return BucketPlan(
+                bucket=bucket,
+                owner_local=np.empty(0, dtype=np.int64),
+                dst=np.empty(0, dtype=np.int64),
+                weights=np.empty(0, dtype=np.float64),
+                owner_key=np.empty(0, dtype=np.int64),
+                kv=np.empty(0, dtype=np.float64),
+                num_gathered_edges=0,
+                dst_unique=np.empty(0, dtype=np.int64),
+                edge_indptr=np.zeros(1, dtype=np.int64),
+            )
+        edge_pos, owner_local = gather_rows(graph.indptr, bucket.members)
+        dst = graph.indices[edge_pos]
+        w = graph.weights[edge_pos]
+        not_loop = dst != bucket.members[owner_local]
+        owner_local = owner_local[not_loop]
+        dst = dst[not_loop]
+        w = w[not_loop]
+        max_owner = int(owner_local[-1]) if owner_local.size else 0
+        # The combined key is owner_local * n + dst_comm with
+        # dst_comm < n; check the worst case in Python ints so the
+        # product itself cannot wrap.  The key dtype (int32 when it
+        # fits, else int64, else None for the lexsort fallback) is
+        # what segment_sort_order keys off.
+        max_key = max_owner * n + (n - 1) if n > 0 else 0
+        if n > 0 and max_key <= _INT32_MAX:
+            owner_key = owner_local.astype(np.int32) * np.int32(n)
+        elif n > 0 and max_key <= _INT64_MAX:
+            owner_key = owner_local * np.int64(n)
+        else:
+            owner_key = None
+        # bincount + flatnonzero beats sort-based np.unique
+        # (O(E + n) vs O(E log E)) and yields the same sorted
+        # unique set.
+        dst_hist = np.bincount(dst, minlength=n)
+        dst_unique = np.flatnonzero(dst_hist)
+        can_increment = integral and owner_key is not None
+        return BucketPlan(
+            bucket=bucket,
+            owner_local=owner_local,
+            dst=dst,
+            weights=w,
+            owner_key=owner_key,
+            kv=k[bucket.members],
+            num_gathered_edges=int(edge_pos.size),
+            num_vertices=n,
+            dst_unique=dst_unique,
+            edge_indptr=np.searchsorted(
+                owner_local, np.arange(bucket.size + 1)
+            ),
+            dst_counts=dst_hist[dst_unique] if can_increment else None,
+            can_increment=can_increment,
+            unit_weights=bool(
+                can_increment
+                and w.size > 0
+                and float(w.min()) == 1.0
+                and float(w.max()) == 1.0
+            ),
+        )
 
     @classmethod
     def build(cls, graph: CSRGraph, buckets: list[Bucket]) -> "SweepPlan":
@@ -426,73 +493,9 @@ class SweepPlan:
             w_all.size == 0
             or (np.all(w_all == np.rint(w_all)) and float(w_all.sum()) <= 2.0**52)
         )
-        plans: list[BucketPlan] = []
-        for bucket in buckets:
-            if bucket.size == 0:
-                plans.append(
-                    BucketPlan(
-                        bucket=bucket,
-                        owner_local=np.empty(0, dtype=np.int64),
-                        dst=np.empty(0, dtype=np.int64),
-                        weights=np.empty(0, dtype=np.float64),
-                        owner_key=np.empty(0, dtype=np.int64),
-                        kv=np.empty(0, dtype=np.float64),
-                        num_gathered_edges=0,
-                        dst_unique=np.empty(0, dtype=np.int64),
-                        edge_indptr=np.zeros(1, dtype=np.int64),
-                    )
-                )
-                continue
-            edge_pos, owner_local = gather_rows(graph.indptr, bucket.members)
-            dst = graph.indices[edge_pos]
-            w = graph.weights[edge_pos]
-            not_loop = dst != bucket.members[owner_local]
-            owner_local = owner_local[not_loop]
-            dst = dst[not_loop]
-            w = w[not_loop]
-            max_owner = int(owner_local[-1]) if owner_local.size else 0
-            # The combined key is owner_local * n + dst_comm with
-            # dst_comm < n; check the worst case in Python ints so the
-            # product itself cannot wrap.  The key dtype (int32 when it
-            # fits, else int64, else None for the lexsort fallback) is
-            # what segment_sort_order keys off.
-            max_key = max_owner * n + (n - 1) if n > 0 else 0
-            if n > 0 and max_key <= _INT32_MAX:
-                owner_key = owner_local.astype(np.int32) * np.int32(n)
-            elif n > 0 and max_key <= _INT64_MAX:
-                owner_key = owner_local * np.int64(n)
-            else:
-                owner_key = None
-            # bincount + flatnonzero beats sort-based np.unique
-            # (O(E + n) vs O(E log E)) and yields the same sorted
-            # unique set.
-            dst_hist = np.bincount(dst, minlength=n)
-            dst_unique = np.flatnonzero(dst_hist)
-            can_increment = integral and owner_key is not None
-            plans.append(
-                BucketPlan(
-                    bucket=bucket,
-                    owner_local=owner_local,
-                    dst=dst,
-                    weights=w,
-                    owner_key=owner_key,
-                    kv=k[bucket.members],
-                    num_gathered_edges=int(edge_pos.size),
-                    num_vertices=n,
-                    dst_unique=dst_unique,
-                    edge_indptr=np.searchsorted(
-                        owner_local, np.arange(bucket.size + 1)
-                    ),
-                    dst_counts=dst_hist[dst_unique] if can_increment else None,
-                    can_increment=can_increment,
-                    unit_weights=bool(
-                        can_increment
-                        and w.size > 0
-                        and float(w.min()) == 1.0
-                        and float(w.max()) == 1.0
-                    ),
-                )
-            )
+        plans = [
+            cls._bucket_plan(graph, bucket, n, k, integral) for bucket in buckets
+        ]
         plan = cls(
             num_vertices=n,
             bucket_plans=plans,
@@ -506,6 +509,37 @@ class SweepPlan:
             bucket_plan.owner = plan
         return plan
 
+    def replace_bucket(
+        self,
+        index: int,
+        graph: CSRGraph,
+        bucket: Bucket,
+        *,
+        k: np.ndarray | None = None,
+    ) -> BucketPlan:
+        """Swap in a fresh plan for bucket ``index`` with a new member set.
+
+        The streaming frontier optimizer re-buckets only the *active*
+        vertices each sweep; when a bucket's member set changed since its
+        plan was built, the cached gather (and pair table) no longer
+        describes the vertices being scored and must be rebuilt.  Buckets
+        whose active set is unchanged keep their caches — the reuse the
+        plan exists for.  The replacement shares the plan's move stamps
+        and community mirror, so the usual validation machinery applies
+        from its first serve.
+        """
+        if k is None:
+            k = graph.weighted_degrees
+        fresh = self._bucket_plan(
+            graph, bucket, self.num_vertices, k, self.integral_weights
+        )
+        fresh.owner = self
+        fresh.comm32 = self.shared_comm32
+        self.bucket_plans[index] = fresh
+        # A rebuilt bucket's first serve is a fresh gather, not a reuse.
+        self._serves[index] = 0
+        return fresh
+
     def bind_communities(self, comm: np.ndarray) -> np.ndarray | None:
         """Create the shared int32 label mirror and hand it to every bucket.
 
@@ -516,6 +550,7 @@ class SweepPlan:
         if self.num_vertices > np.iinfo(np.int32).max:
             return None
         comm32 = comm.astype(np.int32)
+        self.shared_comm32 = comm32
         for plan in self.bucket_plans:
             plan.comm32 = comm32
         return comm32

@@ -22,6 +22,7 @@ __all__ = [
     "empty_graph",
     "relabel",
     "induced_subgraph",
+    "apply_edge_batch",
     "update_edges",
     "ensure_connected_relabelled",
 ]
@@ -185,6 +186,201 @@ def induced_subgraph(graph: CSRGraph, vertices: np.ndarray) -> CSRGraph:
     )
 
 
+def _canonical_batch_adds(
+    add: tuple[np.ndarray, np.ndarray, np.ndarray | None], n: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Canonicalise the add side of a batch: merged ``(key, weight)`` pairs.
+
+    Keys are ``lo * n + hi`` with ``lo <= hi``; duplicate pairs within the
+    batch are merged by weight summation (stable order, like
+    :func:`from_edges`).
+    """
+    au = np.asarray(add[0], dtype=np.int64).ravel()
+    av = np.asarray(add[1], dtype=np.int64).ravel()
+    aw = (
+        np.ones(au.size, dtype=np.float64)
+        if add[2] is None
+        else np.asarray(add[2], dtype=np.float64).ravel()
+    )
+    if au.shape != av.shape or aw.shape != au.shape:
+        raise ValueError("add arrays must be parallel")
+    if au.size and (min(au.min(), av.min()) < 0 or max(au.max(), av.max()) >= n):
+        raise ValueError("insertion endpoints out of range")
+    if au.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    akey = np.minimum(au, av) * n + np.maximum(au, av)
+    order = np.argsort(akey, kind="stable")
+    akey = akey[order]
+    aw = aw[order]
+    boundary = np.flatnonzero(np.concatenate(([True], akey[1:] != akey[:-1])))
+    return akey[boundary], np.add.reduceat(aw, boundary)
+
+
+def apply_edge_batch(
+    graph: CSRGraph,
+    *,
+    add: tuple[np.ndarray, np.ndarray, np.ndarray | None] | None = None,
+    remove: tuple[np.ndarray, np.ndarray] | None = None,
+) -> tuple[CSRGraph, np.ndarray, np.ndarray, np.ndarray]:
+    """Apply a batch of edge updates by *patching* the CSR arrays.
+
+    The streaming fast path: instead of the O(E log E) rebuild of
+    :func:`from_edges`, existing sorted rows are edited in place —
+    weight merges write through, deletions and insertions are spliced
+    with one O(E) masked copy.  Cost is O(E + B log B) for a batch of
+    ``B`` updates, and the O(E) term is a straight memcpy, not a sort.
+
+    Semantics (identical to :func:`update_edges`):
+
+    * ``add=(u, v, w)`` inserts undirected edges (``w=None`` -> unit
+      weights); adding an existing edge **sums** onto its weight, and
+      duplicate pairs within the batch are merged first.
+    * ``remove=(u, v)`` deletes undirected edges entirely, whichever
+      direction they are given in.  Removing an edge that does not exist
+      raises :class:`ValueError`.  A pair that is both removed and added
+      in the same batch ends up with exactly the added weight.
+
+    Requires a canonical graph (sorted rows, no parallel stored entries
+    — what :func:`from_edges` produces); raises otherwise.
+
+    Returns ``(new_graph, du, dv, dw)`` where ``(du[i], dv[i])`` with
+    ``du <= dv`` are the undirected pairs the batch touched and ``dw``
+    the net stored-weight change of each — the delta-screening input of
+    :mod:`repro.stream`.
+    """
+    n = graph.num_vertices
+    empty_i = np.empty(0, dtype=np.int64)
+    empty_f = np.empty(0, dtype=np.float64)
+
+    akey, aw = (
+        _canonical_batch_adds(add, n) if add is not None else (empty_i, empty_f)
+    )
+    if remove is not None:
+        ru = np.asarray(remove[0], dtype=np.int64).ravel()
+        rv = np.asarray(remove[1], dtype=np.int64).ravel()
+        if ru.shape != rv.shape:
+            raise ValueError("remove arrays must be parallel")
+        if ru.size and (min(ru.min(), rv.min()) < 0 or max(ru.max(), rv.max()) >= n):
+            raise ValueError("removal endpoints out of range")
+        rkey = (
+            np.unique(np.minimum(ru, rv) * n + np.maximum(ru, rv))
+            if ru.size
+            else empty_i
+        )
+    else:
+        rkey = empty_i
+
+    if akey.size == 0 and rkey.size == 0:
+        return graph, empty_i, empty_i, empty_f
+
+    src = graph.vertex_of_edge
+    stored_key = src * n + graph.indices
+    if stored_key.size and not bool(np.all(stored_key[1:] > stored_key[:-1])):
+        raise ValueError(
+            "apply_edge_batch requires a canonical graph (rows sorted by "
+            "neighbour, no parallel edges); build it with from_edges"
+        )
+
+    pairs = np.union1d(rkey, akey)  # sorted unique canonical keys
+    plo = pairs // n
+    phi = pairs % n
+
+    fpos = np.searchsorted(stored_key, pairs)
+    in_bounds = fpos < stored_key.size
+    exists = np.zeros(pairs.size, dtype=bool)
+    exists[in_bounds] = stored_key[fpos[in_bounds]] == pairs[in_bounds]
+    cur_w = np.zeros(pairs.size, dtype=np.float64)
+    cur_w[exists] = graph.weights[fpos[exists]]
+
+    removed = np.zeros(pairs.size, dtype=bool)
+    if rkey.size:
+        removed[np.searchsorted(pairs, rkey)] = True
+    missing = removed & ~exists
+    if missing.any():
+        bad = int(pairs[missing][0])
+        raise ValueError(
+            f"cannot remove non-existent edge ({bad // n}, {bad % n})"
+        )
+
+    added = np.zeros(pairs.size, dtype=bool)
+    addw = np.zeros(pairs.size, dtype=np.float64)
+    if akey.size:
+        ai = np.searchsorted(pairs, akey)
+        added[ai] = True
+        addw[ai] = aw
+
+    new_w = np.where(removed, 0.0, cur_w) + addw
+    dw = new_w - cur_w
+
+    delete = exists & removed & ~added
+    insert = ~exists  # removals of missing pairs already raised -> all added
+    update = exists & ~delete
+
+    def _reverse_positions(entries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Stored positions of the (hi, lo) direction of non-loop pairs."""
+        non_loop = entries[plo[entries] != phi[entries]]
+        rev = np.searchsorted(stored_key, phi[non_loop] * n + plo[non_loop])
+        return non_loop, rev
+
+    new_weights = graph.weights.copy()
+    upd = np.flatnonzero(update)
+    if upd.size:
+        new_weights[fpos[upd]] = new_w[upd]
+        upd_nl, rev = _reverse_positions(upd)
+        new_weights[rev] = new_w[upd_nl]
+
+    if not delete.any() and not insert.any():
+        out = CSRGraph(
+            indptr=graph.indptr, indices=graph.indices, weights=new_weights
+        )
+        return out, plo, phi, dw
+
+    dele = np.flatnonzero(delete)
+    _, del_rev = _reverse_positions(dele)
+    del_pos = np.concatenate((fpos[dele], del_rev))
+    keep = np.ones(stored_key.size, dtype=bool)
+    keep[del_pos] = False
+    kept_key = stored_key[keep]
+    kept_dst = graph.indices[keep]
+    kept_w = new_weights[keep]
+
+    ins = np.flatnonzero(insert)
+    i_lo, i_hi, i_w = plo[ins], phi[ins], new_w[ins]
+    nl = i_lo != i_hi
+    ins_key = np.concatenate((i_lo * n + i_hi, i_hi[nl] * n + i_lo[nl]))
+    ins_dst = np.concatenate((i_hi, i_lo[nl]))
+    ins_w = np.concatenate((i_w, i_w[nl]))
+    order = np.argsort(ins_key)  # keys are unique; unstable sort is fine
+    ins_key = ins_key[order]
+    ins_dst = ins_dst[order]
+    ins_w = ins_w[order]
+
+    # Splice the (sorted, disjoint) insertions into the kept entries with
+    # one masked copy — the merge needs no sort because both sides are
+    # already in global (src, dst) key order.
+    ipos = np.searchsorted(kept_key, ins_key)
+    total = kept_key.size + ins_key.size
+    target = ipos + np.arange(ins_key.size)
+    new_dst = np.empty(total, dtype=np.int64)
+    new_wts = np.empty(total, dtype=np.float64)
+    gap = np.ones(total, dtype=bool)
+    gap[target] = False
+    new_dst[target] = ins_dst
+    new_wts[target] = ins_w
+    new_dst[gap] = kept_dst
+    new_wts[gap] = kept_w
+
+    counts = np.diff(graph.indptr)
+    if del_pos.size:
+        counts = counts - np.bincount(src[del_pos], minlength=n)
+    if ins_key.size:
+        counts = counts + np.bincount(ins_key // n, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    out = CSRGraph(indptr=indptr, indices=new_dst, weights=new_wts)
+    return out, plo, phi, dw
+
+
 def update_edges(
     graph: CSRGraph,
     *,
@@ -195,47 +391,24 @@ def update_edges(
 
     The dynamic-network-analytics workflow of the paper's introduction:
     stream updates in, then re-cluster (ideally warm-started from the
-    previous membership).
+    previous membership, or incrementally via
+    :class:`repro.stream.StreamSession`).  A thin wrapper over
+    :func:`apply_edge_batch`, which patches the CSR arrays in
+    O(E + B log B) instead of rebuilding in O(E log E).
 
     Parameters
     ----------
     add:
         ``(u, v, w)`` arrays of edges to insert (``w=None`` -> unit
-        weights).  Adding an existing edge *sums* onto its weight.
+        weights).  Adding an existing edge *sums* onto its weight;
+        duplicate pairs within the batch are merged first.
     remove:
-        ``(u, v)`` arrays of undirected edges to delete entirely.
-        Removing a non-existent edge is a no-op.
+        ``(u, v)`` arrays of undirected edges to delete entirely,
+        whichever direction each pair is given in.  Removing a
+        non-existent edge raises :class:`ValueError`.
     """
-    u, v, w = graph.edge_list(unique=True)
-    n = graph.num_vertices
-    if remove is not None:
-        ru = np.minimum(np.asarray(remove[0], dtype=np.int64),
-                        np.asarray(remove[1], dtype=np.int64))
-        rv = np.maximum(np.asarray(remove[0], dtype=np.int64),
-                        np.asarray(remove[1], dtype=np.int64))
-        if ru.size and (ru.min() < 0 or max(ru.max(), rv.max()) >= n):
-            raise ValueError("removal endpoints out of range")
-        doomed = set(zip(ru.tolist(), rv.tolist()))
-        keep = np.fromiter(
-            ((a, b) not in doomed for a, b in zip(u.tolist(), v.tolist())),
-            dtype=bool,
-            count=u.size,
-        )
-        u, v, w = u[keep], v[keep], w[keep]
-    if add is not None:
-        au = np.asarray(add[0], dtype=np.int64)
-        av = np.asarray(add[1], dtype=np.int64)
-        aw = (
-            np.ones(au.size, dtype=np.float64)
-            if add[2] is None
-            else np.asarray(add[2], dtype=np.float64)
-        )
-        if au.size and (min(au.min(), av.min()) < 0 or max(au.max(), av.max()) >= n):
-            raise ValueError("insertion endpoints out of range")
-        u = np.concatenate([u, au])
-        v = np.concatenate([v, av])
-        w = np.concatenate([w, aw])
-    return from_edges(u, v, w, num_vertices=n)
+    new_graph, _, _, _ = apply_edge_batch(graph, add=add, remove=remove)
+    return new_graph
 
 
 def ensure_connected_relabelled(graph: CSRGraph) -> CSRGraph:

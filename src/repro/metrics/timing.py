@@ -46,6 +46,10 @@ class SweepStats:
         Exact recomputed modularity, only set on sweeps where the
         periodic recompute ran (every ``exact_q_interval`` sweeps and at
         phase end).
+    frontier_size:
+        Number of vertices actually scored this sweep.  Equal to the
+        graph's (non-isolated) vertex count for full sweeps; smaller for
+        frontier-restricted sweeps in the streaming engine.
     """
 
     sweep: int
@@ -55,6 +59,7 @@ class SweepStats:
     pair_patch_hits: int = 0
     q_incremental: float = 0.0
     q_exact: float | None = None
+    frontier_size: int = 0
 
     @property
     def moved(self) -> int:

@@ -12,7 +12,7 @@ import numpy as np
 
 from .metrics.timing import RunTimings
 
-__all__ = ["LouvainResult", "flatten_levels"]
+__all__ = ["LouvainResult", "StreamResult", "flatten_levels"]
 
 
 def flatten_levels(levels: list[np.ndarray]) -> np.ndarray:
@@ -77,3 +77,50 @@ class LouvainResult:
         if not 0 <= level < len(self.levels):
             raise IndexError(f"level {level} out of range")
         return flatten_levels(self.levels[: level + 1])
+
+
+@dataclass
+class StreamResult(LouvainResult):
+    """Outcome of one :class:`~repro.stream.StreamSession` batch.
+
+    Extends :class:`LouvainResult` with per-batch streaming telemetry.
+
+    Attributes
+    ----------
+    batch:
+        1-based index of the batch within the session.
+    edges_added / edges_removed:
+        Undirected edge counts actually inserted / deleted (after
+        canonicalisation and duplicate merging).
+    pairs_changed:
+        Distinct vertex pairs whose stored weight changed.
+    frontier_size:
+        Seed frontier size handed to delta-screening (before sweep
+        expansion; degree-0 vertices dropped).
+    frontier_fraction:
+        ``frontier_size / num_vertices`` of the updated graph.
+    mode:
+        ``"stream"`` (incremental path), ``"full"`` (full warm re-run —
+        frontier too wide or screening forced it), or ``"stream+full"``
+        (incremental path plus the periodic exact full re-run).
+    full_rerun:
+        Whether a full warm-started run executed for this batch.
+    q_full:
+        Modularity of the full run when one executed (else ``None``).
+    nmi_vs_full:
+        NMI between the streamed and full memberships when both ran.
+    seconds:
+        Wall-clock time of the whole ``apply`` call.
+    """
+
+    batch: int = 0
+    edges_added: int = 0
+    edges_removed: int = 0
+    pairs_changed: int = 0
+    frontier_size: int = 0
+    frontier_fraction: float = 0.0
+    mode: str = "stream"
+    full_rerun: bool = False
+    q_full: float | None = None
+    nmi_vs_full: float | None = None
+    seconds: float = 0.0

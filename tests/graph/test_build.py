@@ -224,12 +224,126 @@ def test_update_edges_remove():
     assert 1 not in g2.neighbors(0)
 
 
-def test_update_edges_remove_missing_noop():
+def test_update_edges_remove_missing_raises():
     from repro.graph.build import update_edges
 
     g = from_edges([0], [1], num_vertices=3)
-    g2 = update_edges(g, remove=(np.array([1]), np.array([2])))
+    with pytest.raises(ValueError, match="non-existent edge"):
+        update_edges(g, remove=(np.array([1]), np.array([2])))
+
+
+def test_update_edges_duplicate_adds_merge():
+    from repro.graph.build import update_edges
+
+    g = from_edges([0], [1], [1.0], num_vertices=3)
+    # The same pair three times in one batch (both orientations) merges
+    # into a single +6.0 before it is applied.
+    g2 = update_edges(
+        g,
+        add=(np.array([0, 1, 0]), np.array([1, 0, 1]), np.array([1.0, 2.0, 3.0])),
+    )
+    assert g2.neighbor_weights(0).tolist() == [7.0]
+    assert g2.neighbor_weights(1).tolist() == [7.0]
+    # A brand-new pair duplicated in the batch appears once, merged.
+    g3 = update_edges(
+        g, add=(np.array([1, 2]), np.array([2, 1]), np.array([4.0, 5.0]))
+    )
+    assert g3.num_edges == 2
+    assert g3.neighbor_weights(2).tolist() == [9.0]
+
+
+def test_update_edges_remove_weighted_both_directions():
+    from repro.graph.build import update_edges
+
+    g = from_edges([0, 1], [1, 2], [5.0, 7.0])
+    # The same undirected edge named in both directions deletes once.
+    g2 = update_edges(g, remove=(np.array([0, 1]), np.array([1, 0])))
+    assert g2.num_edges == 1
+    assert g2.neighbors(0).tolist() == []
+    assert g2.neighbors(1).tolist() == [2]
+    assert g2.neighbor_weights(1).tolist() == [7.0]
+
+
+def test_update_edges_remove_then_add_same_pair():
+    from repro.graph.build import update_edges
+
+    g = from_edges([0], [1], [5.0])
+    # remove+add of the same pair in one batch = exactly the added weight.
+    g2 = update_edges(
+        g,
+        add=(np.array([0]), np.array([1]), np.array([2.0])),
+        remove=(np.array([1]), np.array([0])),
+    )
+    assert g2.neighbor_weights(0).tolist() == [2.0]
+
+
+def test_apply_edge_batch_reports_deltas():
+    from repro.graph.build import apply_edge_batch
+
+    g = from_edges([0, 1], [1, 2], [1.0, 4.0])
+    g2, du, dv, dw = apply_edge_batch(
+        g,
+        add=(np.array([0]), np.array([2]), np.array([3.0])),
+        remove=(np.array([1]), np.array([2])),
+    )
+    pairs = sorted(zip(du.tolist(), dv.tolist(), dw.tolist()))
+    assert pairs == [(0, 2, 3.0), (1, 2, -4.0)]
+    assert g2.num_edges == 2
+
+
+def test_apply_edge_batch_empty_is_identity():
+    from repro.graph.build import apply_edge_batch
+
+    g = from_edges([0, 1], [1, 2])
+    g2, du, dv, dw = apply_edge_batch(g)
     assert g2 == g
+    assert du.size == 0 and dv.size == 0 and dw.size == 0
+
+
+@given(
+    csr_graphs(weighted=True, min_edges=1),
+    edge_lists(max_vertices=8, max_edges=12, weighted=True),
+)
+def test_apply_edge_batch_matches_rebuild(g, batch):
+    """Differential: patching the CSR arrays ≡ rebuilding from edges."""
+    from repro.graph.build import apply_edge_batch
+
+    bu, bv, bw, _ = batch
+    bu = np.asarray(bu, dtype=np.int64) % g.num_vertices
+    bv = np.asarray(bv, dtype=np.int64) % g.num_vertices
+    bw = np.abs(np.asarray(bw, dtype=np.float64)) + 0.5
+    # Remove a prefix of the existing edges, add the drawn batch.
+    eu, ev, ew = g.edge_list(unique=True)
+    num_remove = min(2, eu.size)
+    remove = (eu[:num_remove], ev[:num_remove])
+    add = (bu, bv, bw) if bu.size else None
+
+    g2, du, dv, dw = apply_edge_batch(g, add=add, remove=remove)
+    validate(g2)
+
+    # Rebuild from scratch: surviving old edges + the batch (merged).
+    old = {}
+    for u, v, w in zip(eu.tolist(), ev.tolist(), ew.tolist()):
+        old[(u, v)] = w
+    for u, v in zip(*(np.asarray(a).tolist() for a in remove)):
+        old.pop((min(u, v), max(u, v)), None)
+    merged = dict(old)
+    for u, v, w in zip(bu.tolist(), bv.tolist(), bw.tolist()):
+        key = (min(u, v), max(u, v))
+        merged[key] = merged.get(key, 0.0) + w
+    ru = np.array([p[0] for p in merged], dtype=np.int64)
+    rv = np.array([p[1] for p in merged], dtype=np.int64)
+    rw = np.array(list(merged.values()), dtype=np.float64)
+    rebuilt = from_edges(ru, rv, rw, num_vertices=g.num_vertices)
+
+    assert np.array_equal(g2.indptr, rebuilt.indptr)
+    assert np.array_equal(g2.indices, rebuilt.indices)
+    np.testing.assert_allclose(g2.weights, rebuilt.weights)
+
+    # Deltas name every touched pair exactly once, canonically ordered.
+    assert np.all(du <= dv)
+    keys = du * g.num_vertices + dv
+    assert np.all(np.diff(keys) > 0)
 
 
 def test_update_edges_add_and_remove():

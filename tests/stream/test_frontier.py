@@ -1,0 +1,77 @@
+"""Tests for delta-screening (:func:`repro.stream.delta_frontier`)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import from_edges
+from repro.stream import delta_frontier
+
+
+def three_blocks():
+    """Three triangles chained 0-1-2 | 3-4-5 | 6-7-8, one bridge each."""
+    us = [0, 1, 2, 3, 4, 5, 6, 7, 8, 2, 5]
+    vs = [1, 2, 0, 4, 5, 3, 7, 8, 6, 3, 6]
+    graph = from_edges(us, vs)
+    labels = np.repeat(np.arange(3), 3)
+    return graph, labels
+
+
+def test_endpoints_scope_is_just_the_endpoints():
+    graph, labels = three_blocks()
+    out = delta_frontier(
+        graph, labels, np.array([2, 7]), np.array([3, 8]), scope="endpoints"
+    )
+    assert out.tolist() == [2, 3, 7, 8]
+
+
+def test_community_scope_covers_members_and_neighbours():
+    graph, labels = three_blocks()
+    # Pair (0, 1) lives entirely in community 0: the screen is its
+    # members {0,1,2} plus the endpoints' neighbours — all inside the
+    # triangle.  Vertex 3 neighbours 2, but only *endpoint*
+    # neighbourhoods are seeded, so it stays out.
+    out = delta_frontier(graph, labels, np.array([0]), np.array([1]))
+    assert out.tolist() == [0, 1, 2]
+
+
+def test_community_scope_includes_endpoint_neighbours():
+    graph, labels = three_blocks()
+    # Pair (2, 3) bridges communities 0 and 1: both communities'
+    # members, plus 2's and 3's neighbours.  6 neighbours 5 but not an
+    # endpoint, so community 2 remains untouched.
+    out = delta_frontier(graph, labels, np.array([2]), np.array([3]))
+    assert out.tolist() == [0, 1, 2, 3, 4, 5]
+
+
+def test_output_is_sorted_unique():
+    graph, labels = three_blocks()
+    u = np.array([2, 2, 3, 2])
+    v = np.array([3, 3, 2, 3])
+    out = delta_frontier(graph, labels, u, v, scope="endpoints")
+    assert out.tolist() == [2, 3]
+
+
+def test_empty_batch_gives_empty_frontier():
+    graph, labels = three_blocks()
+    out = delta_frontier(graph, labels, np.array([]), np.array([]))
+    assert out.size == 0
+
+
+def test_rejects_unknown_scope():
+    graph, labels = three_blocks()
+    with pytest.raises(ValueError, match="scope"):
+        delta_frontier(graph, labels, np.array([0]), np.array([1]), scope="global")
+
+
+def test_rejects_bad_membership_shape():
+    graph, _ = three_blocks()
+    with pytest.raises(ValueError, match="one label per vertex"):
+        delta_frontier(graph, np.zeros(4, dtype=np.int64), np.array([0]), np.array([1]))
+
+
+def test_rejects_out_of_range_endpoints():
+    graph, labels = three_blocks()
+    with pytest.raises(ValueError, match="out of range"):
+        delta_frontier(graph, labels, np.array([0]), np.array([99]))
+    with pytest.raises(ValueError, match="out of range"):
+        delta_frontier(graph, labels, np.array([-1]), np.array([1]))

@@ -150,3 +150,68 @@ def test_main_module_help():
     assert result.returncode == 0
     assert "detect" in result.stdout
     assert "generate" in result.stdout
+
+
+def test_stream_synthetic(karate_file, capsys):
+    assert main(
+        ["stream", karate_file, "--synthetic", "8", "--batches", "3", "--seed", "1"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "initial: n=34" in out
+    assert "batch" in out and "frontier" in out
+    assert "final:" in out
+    # One table row per batch.
+    assert sum(line.strip().startswith(("1 ", "2 ", "3 ")) for line in
+               out.splitlines()) == 3
+
+
+def test_stream_updates_file(karate_file, capsys, tmp_path):
+    updates = tmp_path / "updates.txt"
+    updates.write_text(
+        "# two batches\n"
+        "+ 0 9\n"
+        "+ 4 12 2.5\n"
+        "--\n"
+        "- 0 9\n"
+        "+ 20 25\n"
+    )
+    out_path = tmp_path / "final.txt"
+    assert main(
+        ["stream", karate_file, "--updates", str(updates), "-o", str(out_path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "final:" in out
+    lines = out_path.read_text().splitlines()
+    assert lines[0].startswith("#")
+    assert len(lines) == 35  # header + 34 vertices
+    # The streamed membership warm-starts a later detect run.
+    assert main(["detect", karate_file, "--warm-start", str(out_path)]) == 0
+    assert "modularity:" in capsys.readouterr().out
+
+
+def test_stream_updates_file_rejects_bad_line(karate_file, tmp_path):
+    updates = tmp_path / "updates.txt"
+    updates.write_text("* 0 1\n")
+    with pytest.raises(ValueError, match="updates.txt:1"):
+        main(["stream", karate_file, "--updates", str(updates)])
+
+
+def test_stream_exact_full_rerun_shows_no_gap(karate_file, capsys, tmp_path):
+    updates = tmp_path / "updates.txt"
+    updates.write_text("+ 0 9\n+ 4 12\n")
+    assert main(
+        [
+            "stream", karate_file, "--updates", str(updates),
+            "--screening", "exact", "--full-rerun-interval", "1",
+            "--frontier-limit", "1.0",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "stream+full" in out
+    assert "1.000" in out  # NMI vs the exact rerun
+    assert "+0.00e+00" in out  # zero Q gap: exact mode == full pipeline
+
+
+def test_stream_requires_update_source(karate_file):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["stream", karate_file])
