@@ -4,15 +4,21 @@ Every experiment writes its formatted output (the reproduction of the
 paper's table or figure) to ``benchmarks/results/<name>.txt`` *and* prints
 it, so both ``pytest benchmarks/ --benchmark-only -s`` and the results
 directory carry the numbers that EXPERIMENTS.md records.
+
+:func:`emit_report` additionally persists :mod:`repro.trace` run reports
+(``<name>.trace.json``), so BENCH_* artifacts carry a per-phase
+breakdown — level / optimization / aggregation / sweep spans — instead
+of a single end-to-end number.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
-__all__ = ["emit", "RESULTS_DIR"]
+__all__ = ["emit", "emit_report", "RESULTS_DIR"]
 
 
 def emit(name: str, text: str) -> Path:
@@ -21,4 +27,27 @@ def emit(name: str, text: str) -> Path:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[written to {path}]")
+    return path
+
+
+def emit_report(name: str, reports, *, meta: dict | None = None) -> Path:
+    """Persist one or more run reports as ``benchmarks/results/<name>.trace.json``.
+
+    ``reports`` is a single :class:`repro.trace.RunReport` or a list of
+    them; the file is a ``repro.trace/1`` container with a ``reports``
+    array (the same per-report schema the ``--trace`` CLI flag writes).
+    """
+    from repro.trace import TRACE_SCHEMA, RunReport
+
+    if isinstance(reports, RunReport):
+        reports = [reports]
+    payload = {
+        "schema": TRACE_SCHEMA,
+        "meta": {"kind": "bench", "benchmark": name, **(meta or {})},
+        "reports": [report.to_dict() for report in reports],
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.trace.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[trace written to {path}]")
     return path

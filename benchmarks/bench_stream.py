@@ -38,8 +38,9 @@ from repro.core.gpu_louvain import gpu_louvain
 from repro.metrics.modularity import modularity
 from repro.metrics.quality import normalized_mutual_information
 from repro.stream import StreamSession
+from repro.trace import Tracer
 
-from _util import RESULTS_DIR, emit
+from _util import RESULTS_DIR, emit, emit_report
 
 #: The suite's two largest graphs by paper edge count.
 CASES = (
@@ -79,7 +80,7 @@ def measurements():
         graph = entry.load(scale)
         rng = np.random.default_rng(7)
         session = StreamSession(
-            graph, screening="local", frontier_scope="endpoints"
+            graph, screening="local", frontier_scope="endpoints", tracer=Tracer()
         )
         prev_cold = session.result  # cold-equivalent baseline partition
         per_batch = []
@@ -133,6 +134,9 @@ def measurements():
                 "batch_edges": batch_edges,
                 "churn": CHURN,
                 "batches": per_batch,
+                # repro.trace RunReports (initial run + one per batch);
+                # popped before the JSON dump, emitted as <name>.trace.json.
+                "_trace": [session.initial_report, *session.reports],
             }
         )
     return cases
@@ -211,6 +215,15 @@ def test_stream_speedup(benchmark, measurements):
         ]
     )
     emit("bench_stream", text)
+
+    trace_reports = [
+        report for case in measurements for report in case.pop("_trace")
+    ]
+    emit_report(
+        "bench_stream",
+        trace_reports,
+        meta={"cases": [name for name, _ in CASES], "churn": CHURN},
+    )
 
     RESULTS_DIR.mkdir(exist_ok=True)
     payload = {

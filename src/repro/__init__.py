@@ -18,6 +18,7 @@ Sub-packages:
 * :mod:`repro.stream`   — incremental Louvain over edge-batch updates
 * :mod:`repro.parallel` — comparator parallel implementations
 * :mod:`repro.bench`    — the Table-1 analog suite and experiment runner
+* :mod:`repro.trace`    — structured tracing and JSON run reports
 """
 
 from .core import GPULouvainConfig, GPULouvainResult, gpu_louvain
@@ -26,6 +27,7 @@ from .metrics import modularity
 from .result import LouvainResult, StreamResult
 from .seq import louvain as sequential_louvain
 from .stream import StreamConfig, StreamSession
+from .trace import RunReport, Tracer, report_from_result
 
 __version__ = "1.0.0"
 
@@ -42,5 +44,8 @@ __all__ = [
     "load_graph",
     "modularity",
     "LouvainResult",
+    "Tracer",
+    "RunReport",
+    "report_from_result",
     "__version__",
 ]

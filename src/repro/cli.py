@@ -68,6 +68,11 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("-o", "--output", help="write 'vertex community' lines here")
     detect.add_argument("--levels", action="store_true",
                         help="also print the per-level hierarchy summary")
+    detect.add_argument("--trace", metavar="FILE",
+                        help="write a repro.trace/1 JSON run report here "
+                             "(per-level spans and sweep counters)")
+    detect.add_argument("--trace-summary", action="store_true",
+                        help="print the human-readable trace summary table")
 
     stream = sub.add_parser(
         "stream", help="incremental detection over edge-update batches"
@@ -112,6 +117,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "initial clustering")
     stream.add_argument("-o", "--output",
                         help="write the final 'vertex community' lines here")
+    stream.add_argument("--trace", metavar="FILE",
+                        help="write a repro.trace/1 JSON trace here (one run "
+                             "report per batch plus the initial clustering)")
+    stream.add_argument("--trace-summary", action="store_true",
+                        help="print the per-batch trace summary tables")
 
     generate = sub.add_parser("generate", help="synthesise a graph")
     generate.add_argument(
@@ -172,6 +182,12 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     from .graph.io import load_graph
 
     graph = load_graph(args.path)
+    tracing = bool(args.trace or args.trace_summary)
+    tracer = None
+    if tracing:
+        from .trace import Tracer
+
+        tracer = Tracer()
     start = time.perf_counter()
     if args.solver == "gpu":
         from .core.gpu_louvain import gpu_louvain
@@ -187,6 +203,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             bin_vertex_limit=args.bin_vertex_limit,
             resolution=args.resolution,
             initial_communities=initial,
+            tracer=tracer,
         )
     elif args.solver == "seq":
         from .seq.louvain import louvain
@@ -235,6 +252,27 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             zip(result.level_sizes, result.modularity_per_level)
         ):
             print(f"  level {k}: n={n} E={e} Q={q:.4f}")
+    if tracing:
+        # Non-gpu solvers have no live tracer; report_from_result falls
+        # back to their RunTimings, so every solver emits the same shape.
+        from .trace import report_from_result
+
+        report = report_from_result(
+            result,
+            tracer=tracer,
+            solver=args.solver,
+            engine=args.engine if args.solver == "gpu" else args.solver,
+            graph=str(args.path),
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            seconds=round(seconds, 6),
+        )
+        if args.trace:
+            with open(args.trace, "w") as handle:
+                handle.write(report.to_json() + "\n")
+            print(f"trace written to {args.trace}")
+        if args.trace_summary:
+            print(report.summary())
     if args.output:
         with open(args.output, "w") as handle:
             handle.write("# vertex community\n")
@@ -327,11 +365,18 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     from .stream import StreamSession
 
     graph = load_graph(args.path)
+    tracing = bool(args.trace or args.trace_summary)
+    tracer = None
+    if tracing:
+        from .trace import Tracer
+
+        tracer = Tracer()
     initial = None
     if args.warm_start:
         initial = _read_membership(args.warm_start, graph.num_vertices)
     session = StreamSession(
         graph,
+        tracer=tracer,
         screening=args.screening,
         frontier_scope=args.frontier_scope,
         full_rerun_interval=args.full_rerun_interval,
@@ -371,6 +416,35 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
     print(f"final: E={session.graph.num_edges} Q={session.modularity:.6f} "
           f"communities={session.result.num_communities}")
+    if tracing:
+        import json as _json
+
+        from .trace import TRACE_SCHEMA
+
+        if args.trace:
+            payload = {
+                "schema": TRACE_SCHEMA,
+                "meta": {
+                    "kind": "stream",
+                    "graph": str(args.path),
+                    "screening": args.screening,
+                    "batches": session.batches,
+                },
+                "initial": (
+                    session.initial_report.to_dict()
+                    if session.initial_report is not None
+                    else None
+                ),
+                "batches": [report.to_dict() for report in session.reports],
+            }
+            with open(args.trace, "w") as handle:
+                handle.write(_json.dumps(payload, indent=2) + "\n")
+            print(f"trace written to {args.trace}")
+        if args.trace_summary:
+            for report in session.reports:
+                print(f"--- batch {report.result.get('batch')} "
+                      f"({report.result.get('mode')}) ---")
+                print(report.summary())
     if args.output:
         with open(args.output, "w") as handle:
             handle.write("# vertex community\n")

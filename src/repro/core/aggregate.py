@@ -31,6 +31,7 @@ from ..gpu.costmodel import CostModel, WorkItem, warp_schedule
 from ..gpu.hashtable import CommunityHashTable
 from ..gpu.profiler import KernelStats, PhaseProfile
 from ..gpu.thrust import exclusive_scan, gather_rows
+from ..trace import NullTracer, Tracer, as_tracer
 from .buckets import community_buckets
 from .config import GPULouvainConfig
 
@@ -88,17 +89,51 @@ def _layout(
     return com_size, com_degree, new_id, dense, com
 
 
+def _annotate_aggregation(span, graph: CSRGraph, outcome: "AggregationOutcome") -> None:
+    """Fill an ``aggregation`` span from a finished contraction."""
+    span.count(
+        num_vertices_in=graph.num_vertices,
+        num_vertices_out=outcome.graph.num_vertices,
+        num_edges_out=outcome.graph.num_edges,
+        hash_probes=sum(k.hash_stats.probes for k in outcome.profile.kernels),
+        allocated_edge_slots=sum(
+            k.allocated_edge_slots for k in outcome.profile.kernels
+        ),
+        used_edge_slots=sum(k.used_edge_slots for k in outcome.profile.kernels),
+    )
+
+
 def aggregate_gpu(
     graph: CSRGraph,
     comm: np.ndarray,
     config: GPULouvainConfig,
     *,
     cost_model: CostModel | None = None,
+    tracer: Tracer | NullTracer | None = None,
 ) -> AggregationOutcome:
     """Contract ``graph`` by the partition ``comm`` (Alg. 3).
 
     Returns the contracted graph plus the old-vertex -> new-vertex map.
+    With a live ``tracer`` the phase is recorded as an ``aggregation``
+    span (``path="bucketed"``) carrying contraction-size and
+    hash-probe counters.
     """
+    tracer = as_tracer(tracer)
+    if not tracer.enabled:
+        return _aggregate_gpu(graph, comm, config, cost_model)
+    with tracer.span("aggregation", path="bucketed") as span:
+        outcome = _aggregate_gpu(graph, comm, config, cost_model)
+        _annotate_aggregation(span, graph, outcome)
+    return outcome
+
+
+def _aggregate_gpu(
+    graph: CSRGraph,
+    comm: np.ndarray,
+    config: GPULouvainConfig,
+    cost_model: CostModel | None,
+) -> AggregationOutcome:
+    """:func:`aggregate_gpu` body."""
     comm = np.asarray(comm, dtype=np.int64)
     if comm.shape != (graph.num_vertices,):
         raise ValueError("comm must assign one community per vertex")
@@ -175,6 +210,8 @@ def aggregate_bincount(
     graph: CSRGraph,
     comm: np.ndarray,
     config: GPULouvainConfig,
+    *,
+    tracer: Tracer | NullTracer | None = None,
 ) -> AggregationOutcome:
     """Contract by partition via one dense ``bincount`` over relabelled keys.
 
@@ -192,9 +229,10 @@ def aggregate_bincount(
     comm = np.asarray(comm, dtype=np.int64)
     if comm.shape != (graph.num_vertices,):
         raise ValueError("comm must assign one community per vertex")
+    tracer = as_tracer(tracer)
     n = graph.num_vertices
     if config.engine == "simulated" or n == 0:
-        return aggregate_gpu(graph, comm, config)
+        return aggregate_gpu(graph, comm, config, tracer=tracer)
 
     com_size = np.bincount(comm, minlength=n)
     new_id = exclusive_scan((com_size > 0).astype(np.int64))[:-1]
@@ -202,8 +240,21 @@ def aggregate_bincount(
     num_new = int(new_id[-1]) + int(com_size[-1] > 0) if n else 0
     table = num_new * num_new
     if num_new == 0 or table > max(4 * graph.num_stored_edges, _BINCOUNT_TABLE_FLOOR):
-        return aggregate_gpu(graph, comm, config)
+        return aggregate_gpu(graph, comm, config, tracer=tracer)
 
+    if not tracer.enabled:
+        return _bincount_contract(graph, dense, num_new, table)
+    with tracer.span("aggregation", path="bincount") as span:
+        outcome = _bincount_contract(graph, dense, num_new, table)
+        _annotate_aggregation(span, graph, outcome)
+        span.count(table_size=table)
+    return outcome
+
+
+def _bincount_contract(
+    graph: CSRGraph, dense: np.ndarray, num_new: int, table: int
+) -> AggregationOutcome:
+    """:func:`aggregate_bincount` dense-histogram core."""
     profile = PhaseProfile()
     key = dense[graph.vertex_of_edge] * np.int64(num_new) + dense[graph.indices]
     counts = np.bincount(key, minlength=table)

@@ -8,7 +8,10 @@ stage improves modularity by less than ``t_final``.
 
 Use :func:`gpu_louvain` with ``engine="vectorized"`` for speed or
 ``engine="simulated"`` for thread-level device statistics and simulated
-kernel timings (small graphs only).
+kernel timings (small graphs only).  Pass a :class:`~repro.trace.Tracer`
+via ``tracer=`` to record a run → level → phase → sweep span tree on
+**either** engine (see :mod:`repro.trace`); with no tracer the hot path
+is untouched.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from ..metrics.modularity import modularity
 from ..metrics.teps import TepsResult, teps
 from ..metrics.timing import RunTimings, Stopwatch
 from ..result import LouvainResult, flatten_levels
+from ..trace import NullTracer, Tracer, as_tracer
 from .aggregate import aggregate_gpu
 from .config import GPULouvainConfig
 from .mod_opt import modularity_optimization
@@ -56,6 +60,7 @@ def gpu_louvain(
     config: GPULouvainConfig | None = None,
     *,
     initial_communities: np.ndarray | None = None,
+    tracer: Tracer | NullTracer | None = None,
     **overrides,
 ) -> GPULouvainResult:
     """Run the paper's algorithm on ``graph``.
@@ -68,6 +73,10 @@ def gpu_louvain(
     case the paper's introduction motivates: after small updates to the
     graph, re-clustering from the previous membership converges in far
     fewer sweeps than from scratch.
+
+    ``tracer`` records the run as a span tree (``run`` → ``level`` →
+    ``optimization``/``aggregation`` → ``sweep``); tracing never alters
+    the computation, only observes it.
     """
     if config is None:
         config = GPULouvainConfig(**overrides)
@@ -85,6 +94,33 @@ def gpu_louvain(
                 "initial community labels must be existing vertex ids (0..n-1)"
             )
 
+    tracer = as_tracer(tracer)
+    if not tracer.enabled:
+        return _run(graph, config, initial_communities, tracer)
+    with tracer.span(
+        "run",
+        engine=config.engine,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        warm_start=initial_communities is not None,
+    ) as span:
+        result = _run(graph, config, initial_communities, tracer)
+        span.count(
+            modularity=result.modularity,
+            num_levels=result.num_levels,
+            num_communities=result.num_communities,
+            sweeps=sum(result.sweeps_per_level),
+        )
+    return result
+
+
+def _run(
+    graph: CSRGraph,
+    config: GPULouvainConfig,
+    initial_communities: np.ndarray | None,
+    tracer: Tracer | NullTracer,
+) -> GPULouvainResult:
+    """:func:`gpu_louvain` body (config validated, tracer normalised)."""
     timings = RunTimings()
     profile = RunProfile() if config.engine == "simulated" else None
     cost_model = (
@@ -105,56 +141,74 @@ def gpu_louvain(
     for level in range(config.max_levels):
         threshold = config.threshold_for(current.num_vertices)
         stage = timings.new_stage(current.num_vertices, current.num_edges)
-        with Stopwatch(stage, "optimization_seconds"):
-            outcome = modularity_optimization(
-                current,
-                config,
-                threshold,
-                initial_communities=initial_communities if level == 0 else None,
-                cost_model=cost_model,
+        with tracer.span(
+            "level",
+            level=level,
+            num_vertices=current.num_vertices,
+            num_edges=current.num_edges,
+            threshold=threshold,
+        ) as level_span:
+            with Stopwatch(stage, "optimization_seconds"):
+                outcome = modularity_optimization(
+                    current,
+                    config,
+                    threshold,
+                    initial_communities=initial_communities if level == 0 else None,
+                    cost_model=cost_model,
+                    tracer=tracer,
+                )
+            if level == 0:
+                first_phase_sweeps = outcome.sweeps
+                first_phase_seconds = stage.optimization_seconds
+            with Stopwatch(stage, "aggregation_seconds"):
+                agg = aggregate_gpu(
+                    current,
+                    outcome.communities,
+                    config,
+                    cost_model=cost_model,
+                    tracer=tracer,
+                )
+
+            no_contraction = agg.graph.num_vertices == current.num_vertices
+            # An aggregation that failed to contract onto the identity map is
+            # a pure no-op level (no vertex moved, nothing merged): recording
+            # it would inflate level counts in results and benchmarks without
+            # changing the flattened membership.  Drop its records — unless it
+            # is the only level, which keeps degenerate inputs (e.g. edgeless
+            # graphs) well-formed.
+            degenerate = (
+                no_contraction
+                and levels
+                and np.array_equal(
+                    agg.dense_map, np.arange(current.num_vertices, dtype=np.int64)
+                )
             )
-        if level == 0:
-            first_phase_sweeps = outcome.sweeps
-            first_phase_seconds = stage.optimization_seconds
-        with Stopwatch(stage, "aggregation_seconds"):
-            agg = aggregate_gpu(current, outcome.communities, config, cost_model=cost_model)
+            if degenerate:
+                timings.stages.pop()
+                # The span stays in the trace (observability should show
+                # the wasted level), labelled so reports can filter it.
+                level_span.set(degenerate=True)
+                break
 
-        no_contraction = agg.graph.num_vertices == current.num_vertices
-        # An aggregation that failed to contract onto the identity map is
-        # a pure no-op level (no vertex moved, nothing merged): recording
-        # it would inflate level counts in results and benchmarks without
-        # changing the flattened membership.  Drop its records — unless it
-        # is the only level, which keeps degenerate inputs (e.g. edgeless
-        # graphs) well-formed.
-        degenerate = (
-            no_contraction
-            and levels
-            and np.array_equal(
-                agg.dense_map, np.arange(current.num_vertices, dtype=np.int64)
-            )
-        )
-        if degenerate:
-            timings.stages.pop()
-            break
+            if profile is not None:
+                profile.optimization.append(outcome.profile)
+                profile.aggregation.append(agg.profile)
 
-        if profile is not None:
-            profile.optimization.append(outcome.profile)
-            profile.aggregation.append(agg.profile)
+            levels.append(agg.dense_map)
+            level_sizes.append((current.num_vertices, current.num_edges))
+            sweeps_per_level.append(outcome.sweeps)
+            stage.sweeps = outcome.sweeps
+            stage.sweep_stats = outcome.profile.sweeps
+            membership = flatten_levels(levels)
+            q = modularity(graph, membership, resolution=config.resolution)
+            modularity_per_level.append(q)
+            stage.modularity = q
+            level_span.count(sweeps=outcome.sweeps, modularity=q)
 
-        levels.append(agg.dense_map)
-        level_sizes.append((current.num_vertices, current.num_edges))
-        sweeps_per_level.append(outcome.sweeps)
-        stage.sweeps = outcome.sweeps
-        stage.sweep_stats = outcome.profile.sweeps
-        membership = flatten_levels(levels)
-        q = modularity(graph, membership, resolution=config.resolution)
-        modularity_per_level.append(q)
-        stage.modularity = q
-
-        current = agg.graph
-        if q - prev_q < config.threshold_final or no_contraction:
-            break
-        prev_q = q
+            current = agg.graph
+            if q - prev_q < config.threshold_final or no_contraction:
+                break
+            prev_q = q
 
     membership = flatten_levels(levels)
     simulated_seconds = None

@@ -24,6 +24,7 @@ drift; the final reported Q always comes from the exact recompute.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -32,6 +33,7 @@ from ..gpu.costmodel import CostModel
 from ..gpu.profiler import PhaseProfile
 from ..gpu.thrust import gather_rows
 from ..metrics.timing import SweepStats
+from ..trace import NullTracer, Tracer, as_tracer, sweep_span
 from .buckets import Bucket, bucket_index, degree_buckets
 from .compute_move import compute_moves_simulated, compute_moves_vectorized
 from .config import GPULouvainConfig
@@ -176,12 +178,44 @@ def modularity_optimization(
     *,
     initial_communities: np.ndarray | None = None,
     cost_model: CostModel | None = None,
+    tracer: Tracer | NullTracer | None = None,
 ) -> OptimizationOutcome:
     """Run Alg. 1 on ``graph``; returns final communities and sweep count.
 
     ``threshold`` is the per-sweep modularity-gain cutoff (``t_bin`` or
-    ``t_final``, chosen by the caller from the level's size).
+    ``t_final``, chosen by the caller from the level's size).  With a
+    live ``tracer`` the phase is recorded as an ``optimization`` span
+    with one ``sweep`` child per sweep (moves, cache hits, Q drift).
     """
+    tracer = as_tracer(tracer)
+    if not tracer.enabled:
+        return _optimize(graph, config, threshold, initial_communities, cost_model, tracer)
+    with tracer.span("optimization") as span:
+        outcome = _optimize(
+            graph, config, threshold, initial_communities, cost_model, tracer
+        )
+        profile = outcome.profile
+        span.count(
+            sweeps=outcome.sweeps,
+            moved=profile.total_moves,
+            gather_reuse_hits=profile.gather_reuse_hits,
+            pair_reuse_hits=profile.pair_reuse_hits,
+            pair_patch_hits=profile.pair_patch_hits,
+            max_q_drift=profile.max_q_drift,
+            modularity=outcome.modularity,
+        )
+    return outcome
+
+
+def _optimize(
+    graph: CSRGraph,
+    config: GPULouvainConfig,
+    threshold: float,
+    initial_communities: np.ndarray | None,
+    cost_model: CostModel | None,
+    tracer: Tracer | NullTracer,
+) -> OptimizationOutcome:
+    """:func:`modularity_optimization` body (tracer already normalised)."""
     n = graph.num_vertices
     k = graph.weighted_degrees
     two_m = graph.total_weight
@@ -234,8 +268,12 @@ def modularity_optimization(
     if incremental:
         internal = float(w[comm[src] == comm[dst]].sum())
     sweeps = 0
+    trace_on = tracer.enabled
+    sweep_seconds: list[float] = []
 
     while sweeps < config.max_sweeps_per_level:
+        if trace_on:
+            sweep_t0 = perf_counter()
         sweeps += 1
         moved = 0
         comm_before = comm.copy() if incremental else None
@@ -357,6 +395,8 @@ def modularity_optimization(
             sweep_stats.q_incremental = new_q
             sweep_stats.q_exact = new_q
         profile.add_sweep(sweep_stats)
+        if trace_on:
+            sweep_seconds.append(perf_counter() - sweep_t0)
         gain = new_q - q
         q = new_q
         if moved == 0 or gain < threshold:
@@ -368,6 +408,14 @@ def modularity_optimization(
         exact_q = _partition_modularity(comm, edges_view, k, two_m, config.resolution)
         profile.sweeps[-1].q_exact = exact_q
         q = exact_q
+
+    if trace_on:
+        # Emitted after the final q_exact patch so the last sweep's
+        # drift is visible in the trace too.
+        for stats, elapsed in zip(profile.sweeps, sweep_seconds):
+            span = sweep_span(stats)
+            span.seconds = elapsed
+            tracer.attach(span)
 
     return OptimizationOutcome(comm, sweeps, q, profile)
 
@@ -381,6 +429,7 @@ def frontier_modularity_optimization(
     frontier: np.ndarray,
     screening: str = "local",
     expansion: str = "community",
+    tracer: Tracer | NullTracer | None = None,
 ) -> FrontierOutcome:
     """Run Alg. 1 restricted to an affected-vertex frontier (delta-screening).
 
@@ -424,8 +473,47 @@ def frontier_modularity_optimization(
 
     Requires the vectorized engine with the per-bucket commit discipline
     (the paper's default).  The returned outcome carries per-sweep
-    ``frontier_size`` observability via :class:`SweepStats`.
+    ``frontier_size`` observability via :class:`SweepStats`; a live
+    ``tracer`` additionally records an ``optimization`` span (attributes
+    ``screening`` / ``expansion``) with one ``sweep`` child per sweep.
     """
+    tracer = as_tracer(tracer)
+    if not tracer.enabled:
+        return _frontier_optimize(
+            graph, config, threshold, initial_communities, frontier,
+            screening, expansion, tracer,
+        )
+    with tracer.span("optimization", screening=screening, expansion=expansion) as span:
+        outcome = _frontier_optimize(
+            graph, config, threshold, initial_communities, frontier,
+            screening, expansion, tracer,
+        )
+        profile = outcome.profile
+        span.count(
+            sweeps=outcome.sweeps,
+            moved=profile.total_moves,
+            gather_reuse_hits=profile.gather_reuse_hits,
+            pair_reuse_hits=profile.pair_reuse_hits,
+            pair_patch_hits=profile.pair_patch_hits,
+            max_q_drift=profile.max_q_drift,
+            modularity=outcome.modularity,
+            frontier_initial=outcome.frontier_initial,
+            scored_total=outcome.scored_total,
+        )
+    return outcome
+
+
+def _frontier_optimize(
+    graph: CSRGraph,
+    config: GPULouvainConfig,
+    threshold: float,
+    initial_communities: np.ndarray,
+    frontier: np.ndarray,
+    screening: str,
+    expansion: str,
+    tracer: Tracer | NullTracer,
+) -> FrontierOutcome:
+    """:func:`frontier_modularity_optimization` body (tracer normalised)."""
     if config.engine == "simulated":
         raise ValueError("frontier optimization requires the vectorized engine")
     if config.relaxed_updates:
@@ -509,10 +597,14 @@ def frontier_modularity_optimization(
     ) / (two_m * two_m)
     sweeps = 0
     scored_total = 0
+    trace_on = tracer.enabled
+    sweep_seconds: list[float] = []
 
     while sweeps < config.max_sweeps_per_level:
         if not active.any() and not (exact and sweeps == 0):
             break
+        if trace_on:
+            sweep_t0 = perf_counter()
         sweeps += 1
         moved = 0
         comm_before = comm.copy() if incremental else None
@@ -656,6 +748,8 @@ def frontier_modularity_optimization(
             sweep_stats.q_incremental = new_q
             sweep_stats.q_exact = new_q
         profile.add_sweep(sweep_stats)
+        if trace_on:
+            sweep_seconds.append(perf_counter() - sweep_t0)
         gain = new_q - q
         q = new_q
         if moved == 0 or gain < threshold:
@@ -665,5 +759,11 @@ def frontier_modularity_optimization(
         exact_q = _partition_modularity(comm, edges_view, k, two_m, config.resolution)
         profile.sweeps[-1].q_exact = exact_q
         q = exact_q
+
+    if trace_on:
+        for stats, elapsed in zip(profile.sweeps, sweep_seconds):
+            span = sweep_span(stats)
+            span.seconds = elapsed
+            tracer.attach(span)
 
     return FrontierOutcome(comm, sweeps, q, profile, frontier_initial, scored_total)

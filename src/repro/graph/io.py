@@ -41,8 +41,8 @@ def read_edge_list(path: str | Path, *, comments: str = "#%") -> CSRGraph:
     ws: list[float] = []
     num_vertices: int | None = None
     with open(path) as handle:
-        for line in handle:
-            line = line.strip()
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
             if not line or line[0] in comments:
                 parts = line.split()
                 if (
@@ -54,9 +54,21 @@ def read_edge_list(path: str | Path, *, comments: str = "#%") -> CSRGraph:
                     num_vertices = int(parts[2])
                 continue
             parts = line.split()
-            us.append(int(parts[0]))
-            vs.append(int(parts[1]))
-            ws.append(float(parts[2]) if len(parts) > 2 else 1.0)
+            if len(parts) < 2:
+                raise ValueError(
+                    f"{path}, line {lineno}: expected 'u v [w]', got {line!r}"
+                )
+            try:
+                u = int(parts[0])
+                v = int(parts[1])
+                w = float(parts[2]) if len(parts) > 2 else 1.0
+            except ValueError:
+                raise ValueError(
+                    f"{path}, line {lineno}: malformed edge line {line!r}"
+                ) from None
+            us.append(u)
+            vs.append(v)
+            ws.append(w)
     return from_edges(us, vs, ws, num_vertices=num_vertices)
 
 
@@ -72,7 +84,13 @@ def write_edge_list(graph: CSRGraph, path: str | Path) -> None:
 def read_metis(path: str | Path) -> CSRGraph:
     """Read a METIS ``.graph`` file (1-based adjacency lists).
 
-    Supports the unweighted format and ``fmt=1`` (edge weights).
+    The full three-digit ``fmt`` header code is honoured: ``fmt=ijk``
+    where ``i`` marks vertex sizes, ``j`` vertex weights (``ncon`` of
+    them per vertex, fourth header field) and ``k`` edge weights.  Codes
+    are left-padded, so ``1`` means edge weights while ``10``/``11``
+    mean vertex weights without/with edge weights.  Vertex sizes and
+    weights are parsed past (the CSR graph keeps edge weights only) —
+    the point is that they are no longer misread as neighbor ids.
     """
     with open(path) as handle:
         # Comments ('%') are skipped; blank lines are NOT — an empty row
@@ -86,16 +104,28 @@ def read_metis(path: str | Path) -> CSRGraph:
     header = lines[0].split()
     n = int(header[0])
     fmt = header[2] if len(header) > 2 else "0"
-    weighted = fmt.endswith("1")
+    if len(fmt) > 3 or set(fmt) - {"0", "1"}:
+        raise ValueError(f"{path}: unsupported METIS fmt code {fmt!r}")
+    fmt = fmt.zfill(3)
+    has_sizes = fmt[0] == "1"
+    has_vertex_weights = fmt[1] == "1"
+    has_edge_weights = fmt[2] == "1"
+    ncon = int(header[3]) if len(header) > 3 else (1 if has_vertex_weights else 0)
+    skip = int(has_sizes) + (ncon if has_vertex_weights else 0)
     us: list[int] = []
     vs: list[int] = []
     ws: list[float] = []
     for i, line in enumerate(lines[1 : n + 1]):
-        fields = line.split()
-        step = 2 if weighted else 1
+        fields = line.split()[skip:]
+        step = 2 if has_edge_weights else 1
+        if len(fields) % step:
+            raise ValueError(
+                f"{path}: vertex {i + 1} has a dangling neighbor/weight "
+                f"field (fmt={fmt})"
+            )
         for j in range(0, len(fields), step):
             nb = int(fields[j]) - 1
-            w = float(fields[j + 1]) if weighted else 1.0
+            w = float(fields[j + 1]) if has_edge_weights else 1.0
             if nb >= i:  # each undirected edge listed from both sides
                 us.append(i)
                 vs.append(nb)

@@ -72,7 +72,9 @@ def normalized_mutual_information(a: np.ndarray, b: np.ndarray) -> float:
     denom = (ha + hb) / 2.0
     if denom == 0.0:
         return 1.0
-    return mi / denom
+    # Floating-point noise in the log-sum can push the ratio a few ulp
+    # outside [0, 1] (e.g. identical labelings giving 1.0000000000000002).
+    return min(1.0, max(0.0, mi / denom))
 
 
 def adjusted_rand_index(a: np.ndarray, b: np.ndarray) -> float:
@@ -97,7 +99,9 @@ def adjusted_rand_index(a: np.ndarray, b: np.ndarray) -> float:
     maximum = (sum_rows + sum_cols) / 2.0
     if maximum == expected:
         return 1.0
-    return float((sum_cells - expected) / (maximum - expected))
+    # sum_cells <= maximum exactly, but the division can overshoot 1 by
+    # a few ulp; the index is bounded below by -1 the same way.
+    return float(min(1.0, max(-1.0, (sum_cells - expected) / (maximum - expected))))
 
 
 @dataclass(frozen=True)

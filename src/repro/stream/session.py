@@ -45,6 +45,7 @@ from ..metrics.modularity import modularity
 from ..metrics.quality import normalized_mutual_information
 from ..metrics.timing import RunTimings, Stopwatch
 from ..result import StreamResult, flatten_levels
+from ..trace import NullTracer, RunReport, Tracer, as_tracer, report_from_result
 from .frontier import delta_frontier
 
 __all__ = ["StreamConfig", "StreamSession"]
@@ -154,6 +155,12 @@ class StreamSession:
         ``StreamSession(g, screening="exact", threshold_bin=1e-3)``).
     initial_membership:
         Warm-start the initial clustering from an existing partition.
+    tracer:
+        Optional :class:`~repro.trace.Tracer`.  When given, the initial
+        clustering is recorded as a ``run`` span and every
+        :meth:`apply` as a ``batch`` span (with nested level /
+        optimization / aggregation / sweep spans), and a per-batch
+        :class:`~repro.trace.RunReport` is appended to :attr:`reports`.
 
     Attributes
     ----------
@@ -163,6 +170,9 @@ class StreamSession:
         the first :meth:`apply`.
     batches:
         Number of batches applied so far.
+    reports / initial_report:
+        Per-batch :class:`~repro.trace.RunReport` list and the initial
+        clustering's report; populated only when a tracer is attached.
     """
 
     def __init__(
@@ -171,6 +181,7 @@ class StreamSession:
         config: StreamConfig | None = None,
         *,
         initial_membership: np.ndarray | None = None,
+        tracer: Tracer | NullTracer | None = None,
         **overrides,
     ) -> None:
         if config is None:
@@ -190,11 +201,27 @@ class StreamSession:
         self.config = config
         self.graph = graph
         self.batches = 0
+        self.tracer = as_tracer(tracer)
+        self.reports: list[RunReport] = []
+        self.initial_report: RunReport | None = None
         result = gpu_louvain(
-            graph, config.louvain, initial_communities=initial_membership
+            graph,
+            config.louvain,
+            initial_communities=initial_membership,
+            tracer=self.tracer,
         )
         self.result: GPULouvainResult | StreamResult = result
         self.membership = result.membership
+        if self.tracer.enabled and self.tracer.roots:
+            self.initial_report = report_from_result(
+                result,
+                spans=[self.tracer.roots[-1]],
+                kind="run",
+                engine=config.louvain.engine,
+                initial=True,
+                num_vertices=graph.num_vertices,
+                num_edges=graph.num_edges,
+            )
 
     @property
     def modularity(self) -> float:
@@ -215,7 +242,40 @@ class StreamSession:
         non-existent edge raises :class:`ValueError`).  Returns a
         :class:`StreamResult`; the session state (``graph``,
         ``membership``, ``result``) advances to the batch's outcome.
+
+        With a session tracer the batch is recorded as a ``batch`` span
+        and a per-batch :class:`~repro.trace.RunReport` is appended to
+        :attr:`reports`.
         """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._apply(add, remove)
+        with tracer.span("batch") as span:
+            result = self._apply(add, remove)
+            span.set(batch=result.batch, mode=result.mode)
+            span.count(
+                edges_added=result.edges_added,
+                edges_removed=result.edges_removed,
+                pairs_changed=result.pairs_changed,
+                frontier_size=result.frontier_size,
+                frontier_fraction=result.frontier_fraction,
+                modularity=result.modularity,
+            )
+        self.reports.append(
+            report_from_result(
+                result,
+                spans=[span],
+                kind="batch",
+                engine=self.config.louvain.engine,
+                screening=self.config.screening,
+                num_vertices=self.graph.num_vertices,
+                num_edges=self.graph.num_edges,
+            )
+        )
+        return result
+
+    def _apply(self, add: tuple | None, remove: tuple | None) -> StreamResult:
+        """:meth:`apply` body (tracing handled by the wrapper)."""
         start = perf_counter()
         cfg = self.config
         new_graph, du, dv, dw = apply_edge_batch(self.graph, add=add, remove=remove)
@@ -255,7 +315,10 @@ class StreamSession:
 
         if too_wide:
             full = gpu_louvain(
-                new_graph, cfg.louvain, initial_communities=self.membership
+                new_graph,
+                cfg.louvain,
+                initial_communities=self.membership,
+                tracer=self.tracer,
             )
             result = StreamResult(
                 levels=full.levels,
@@ -285,8 +348,15 @@ class StreamSession:
             membership = result.membership
             if full_due:
                 full = gpu_louvain(
-                    new_graph, cfg.louvain, initial_communities=self.membership
+                    new_graph,
+                    cfg.louvain,
+                    initial_communities=self.membership,
+                    tracer=self.tracer,
                 )
+                if self.tracer.enabled and self.tracer.current is not None:
+                    # Label the audit run's span so reports can tell it
+                    # from the batch's own incremental computation.
+                    self.tracer.current.children[-1].set(audit=True)
                 result.mode = "stream+full"
                 result.full_rerun = True
                 result.q_full = full.modularity
@@ -326,65 +396,82 @@ class StreamSession:
         current = graph
         prev_q = -1.0
 
+        tracer = self.tracer
         for level in range(lcfg.max_levels):
             threshold = lcfg.threshold_for(current.num_vertices)
             stage = timings.new_stage(current.num_vertices, current.num_edges)
-            with Stopwatch(stage, "optimization_seconds"):
-                if level == 0:
-                    outcome = frontier_modularity_optimization(
-                        current,
-                        lcfg,
-                        threshold,
-                        initial_communities=self.membership,
-                        frontier=frontier,
-                        screening=cfg.screening,
-                        expansion=(
-                            "neighbors"
-                            if cfg.frontier_scope == "endpoints"
-                            else "community"
-                        ),
+            with tracer.span(
+                "level",
+                level=level,
+                num_vertices=current.num_vertices,
+                num_edges=current.num_edges,
+                threshold=threshold,
+            ) as level_span:
+                with Stopwatch(stage, "optimization_seconds"):
+                    if level == 0:
+                        outcome = frontier_modularity_optimization(
+                            current,
+                            lcfg,
+                            threshold,
+                            initial_communities=self.membership,
+                            frontier=frontier,
+                            screening=cfg.screening,
+                            expansion=(
+                                "neighbors"
+                                if cfg.frontier_scope == "endpoints"
+                                else "community"
+                            ),
+                            tracer=tracer,
+                        )
+                        frontier_size = outcome.frontier_initial
+                    else:
+                        outcome = modularity_optimization(
+                            current, lcfg, threshold, tracer=tracer
+                        )
+                with Stopwatch(stage, "aggregation_seconds"):
+                    if exact:
+                        agg = aggregate_gpu(
+                            current, outcome.communities, lcfg, tracer=tracer
+                        )
+                    else:
+                        agg = aggregate_bincount(
+                            current, outcome.communities, lcfg, tracer=tracer
+                        )
+
+                no_contraction = agg.graph.num_vertices == current.num_vertices
+                degenerate = (
+                    no_contraction
+                    and levels
+                    and np.array_equal(
+                        agg.dense_map, np.arange(current.num_vertices, dtype=np.int64)
                     )
-                    frontier_size = outcome.frontier_initial
-                else:
-                    outcome = modularity_optimization(current, lcfg, threshold)
-            with Stopwatch(stage, "aggregation_seconds"):
+                )
+                if degenerate:
+                    timings.stages.pop()
+                    level_span.set(degenerate=True)
+                    break
+
+                levels.append(agg.dense_map)
+                level_sizes.append((current.num_vertices, current.num_edges))
+                sweeps_per_level.append(outcome.sweeps)
+                stage.sweeps = outcome.sweeps
+                stage.sweep_stats = outcome.profile.sweeps
                 if exact:
-                    agg = aggregate_gpu(current, outcome.communities, lcfg)
+                    q = modularity(
+                        graph, flatten_levels(levels), resolution=lcfg.resolution
+                    )
                 else:
-                    agg = aggregate_bincount(current, outcome.communities, lcfg)
+                    # Contraction preserves Q: the coarse singleton partition
+                    # scores the flattened membership at O(coarse) cost.
+                    q = _singleton_modularity(agg.graph, lcfg.resolution)
+                modularity_per_level.append(q)
+                stage.modularity = q
+                level_span.count(sweeps=outcome.sweeps, modularity=q)
 
-            no_contraction = agg.graph.num_vertices == current.num_vertices
-            degenerate = (
-                no_contraction
-                and levels
-                and np.array_equal(
-                    agg.dense_map, np.arange(current.num_vertices, dtype=np.int64)
-                )
-            )
-            if degenerate:
-                timings.stages.pop()
-                break
-
-            levels.append(agg.dense_map)
-            level_sizes.append((current.num_vertices, current.num_edges))
-            sweeps_per_level.append(outcome.sweeps)
-            stage.sweeps = outcome.sweeps
-            stage.sweep_stats = outcome.profile.sweeps
-            if exact:
-                q = modularity(
-                    graph, flatten_levels(levels), resolution=lcfg.resolution
-                )
-            else:
-                # Contraction preserves Q: the coarse singleton partition
-                # scores the flattened membership at O(coarse) cost.
-                q = _singleton_modularity(agg.graph, lcfg.resolution)
-            modularity_per_level.append(q)
-            stage.modularity = q
-
-            current = agg.graph
-            if q - prev_q < lcfg.threshold_final or no_contraction:
-                break
-            prev_q = q
+                current = agg.graph
+                if q - prev_q < lcfg.threshold_final or no_contraction:
+                    break
+                prev_q = q
 
         membership = flatten_levels(levels)
         # The reported Q is always an exact recompute on the updated

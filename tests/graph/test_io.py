@@ -57,6 +57,44 @@ def test_metis_unweighted(tmp_path):
     assert np.all(g.weights == 1.0)
 
 
+#: The same weighted path graph 1-2-3 (1-based) written under every
+#: supported fmt code.  Vertex sizes/weights are extra leading fields
+#: per line; the parsed graph must be identical regardless.
+METIS_FMT_VARIANTS = {
+    "0": "3 2 0\n2\n1 3\n2\n",
+    "1": "3 2 1\n2 2.5\n1 2.5 3 1.5\n2 1.5\n",
+    "10": "3 2 10\n7 2\n8 1 3\n9 2\n",
+    "11": "3 2 11\n7 2 2.5\n8 1 2.5 3 1.5\n9 2 1.5\n",
+    "011": "3 2 011\n7 2 2.5\n8 1 2.5 3 1.5\n9 2 1.5\n",
+    "100": "3 2 100\n4 2\n4 1 3\n4 2\n",
+    "110": "3 2 110\n4 7 2\n4 8 1 3\n4 9 2\n",
+    "111": "3 2 111\n4 7 2 2.5\n4 8 1 2.5 3 1.5\n4 9 2 1.5\n",
+}
+
+
+@pytest.mark.parametrize("fmt", sorted(METIS_FMT_VARIANTS))
+def test_metis_fmt_codes(tmp_path, fmt):
+    path = tmp_path / "g.graph"
+    path.write_text(METIS_FMT_VARIANTS[fmt])
+    g = read_metis(path)
+    assert g.num_vertices == 3
+    assert g.num_edges == 2
+    assert g.neighbors(1).tolist() == [0, 2]
+    edge_weighted = fmt.zfill(3)[2] == "1"
+    expected = [2.5, 1.5] if edge_weighted else [1.0, 1.0]
+    assert g.neighbor_weights(1).tolist() == expected
+
+
+def test_metis_ncon_header_field(tmp_path):
+    # fmt=10 with ncon=2: two vertex-weight fields to skip per line.
+    path = tmp_path / "g.graph"
+    path.write_text("3 2 10 2\n7 70 2\n8 80 1 3\n9 90 2\n")
+    g = read_metis(path)
+    assert g.num_edges == 2
+    assert g.neighbors(1).tolist() == [0, 2]
+    assert np.all(g.weights == 1.0)
+
+
 def test_metis_skips_comment_lines(tmp_path):
     path = tmp_path / "g.graph"
     path.write_text("% header comment\n2 1\n2\n1\n")
@@ -81,6 +119,26 @@ def test_load_graph_dispatch(tmp_path):
         else:
             write_matrix_market(g, path)
         assert load_graph(path) == g
+
+
+def test_metis_roundtrip_selfloops_and_isolated(tmp_path):
+    # Self-loop at 2, isolated vertices 3 and 5; weights must survive.
+    g = from_edges(
+        [0, 1, 2, 2], [1, 2, 2, 4], [1.5, 2.0, 3.0, 0.25], num_vertices=6
+    )
+    path = tmp_path / "g.graph"
+    write_metis(g, path)
+    header = path.read_text().splitlines()[0].split()
+    assert int(header[0]) == g.num_vertices
+    assert int(header[1]) == g.num_edges  # header edge count cross-check
+    loaded = read_metis(path)
+    assert loaded.num_vertices == g.num_vertices
+    assert loaded.num_edges == int(header[1])
+    u1, v1, w1 = g.edge_list(unique=True)
+    u2, v2, w2 = loaded.edge_list(unique=True)
+    # Edge multiset (with weights) preserved exactly.
+    assert sorted(zip(u1, v1, w1)) == sorted(zip(u2, v2, w2))
+    assert loaded == g
 
 
 def test_edge_list_header_written(tmp_path, weighted_graph):

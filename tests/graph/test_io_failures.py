@@ -19,14 +19,29 @@ from ..conftest import csr_graphs
 def test_edge_list_malformed_line(tmp_path):
     path = tmp_path / "bad.txt"
     path.write_text("0 1\nnot numbers\n")
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError, match=r"bad\.txt, line 2"):
         read_edge_list(path)
 
 
 def test_edge_list_missing_endpoint(tmp_path):
     path = tmp_path / "bad.txt"
     path.write_text("0\n")
-    with pytest.raises(IndexError):
+    with pytest.raises(ValueError, match=r"bad\.txt, line 1.*'u v \[w\]'"):
+        read_edge_list(path)
+
+
+def test_edge_list_error_counts_comment_lines(tmp_path):
+    # Line numbers are 1-based over the raw file, comments included.
+    path = tmp_path / "bad.txt"
+    path.write_text("# header\n0 1\n\n1 two\n")
+    with pytest.raises(ValueError, match=r"bad\.txt, line 4.*'1 two'"):
+        read_edge_list(path)
+
+
+def test_edge_list_bad_weight(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("0 1 heavy\n")
+    with pytest.raises(ValueError, match=r"bad\.txt, line 1"):
         read_edge_list(path)
 
 
@@ -70,6 +85,22 @@ def test_metis_neighbor_out_of_range(tmp_path):
     path = tmp_path / "bad.graph"
     path.write_text("2 1\n5\n\n")  # neighbour 5 of a 2-vertex graph
     with pytest.raises(ValueError):
+        read_metis(path)
+
+
+def test_metis_rejects_unknown_fmt(tmp_path):
+    path = tmp_path / "bad.graph"
+    path.write_text("2 1 7\n2\n1\n")
+    with pytest.raises(ValueError, match="fmt"):
+        read_metis(path)
+
+
+def test_metis_dangling_weight_field(tmp_path):
+    # fmt=1 promises (neighbor, weight) pairs; an odd field count means
+    # a weight (or neighbor) went missing.
+    path = tmp_path / "bad.graph"
+    path.write_text("2 1 1\n2 1.0\n1\n")
+    with pytest.raises(ValueError, match="dangling"):
         read_metis(path)
 
 

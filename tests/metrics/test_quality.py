@@ -117,3 +117,29 @@ def test_ari_bounded_above_by_one(labels):
     rng = np.random.default_rng(0)
     b = rng.permutation(a)
     assert adjusted_rand_index(a, b) <= 1.0 + 1e-12
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=60),
+    st.randoms(use_true_random=False),
+)
+def test_nmi_within_unit_interval(labels, rnd):
+    # Exact bounds, no epsilon: the implementation clamps away the
+    # few-ulp overshoot that log-sum noise can produce.
+    a = np.asarray(labels)
+    b = np.asarray([rnd.randint(0, 8) for _ in labels])
+    for x, y in ((a, a), (a, b), (b, a)):
+        value = normalized_mutual_information(x, y)
+        assert 0.0 <= value <= 1.0
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=8), min_size=2, max_size=60),
+    st.randoms(use_true_random=False),
+)
+def test_ari_within_bounds(labels, rnd):
+    a = np.asarray(labels)
+    b = np.asarray([rnd.randint(0, 8) for _ in labels])
+    for x, y in ((a, a), (a, b), (b, a)):
+        value = adjusted_rand_index(x, y)
+        assert -1.0 <= value <= 1.0

@@ -215,3 +215,73 @@ def test_stream_exact_full_rerun_shows_no_gap(karate_file, capsys, tmp_path):
 def test_stream_requires_update_source(karate_file):
     with pytest.raises(SystemExit):
         build_parser().parse_args(["stream", karate_file])
+
+
+def test_detect_trace_report(karate_file, capsys, tmp_path):
+    import json
+
+    from repro.trace import TRACE_SCHEMA, validate_report
+
+    trace_path = tmp_path / "trace.json"
+    assert main(
+        ["detect", karate_file, "--trace", str(trace_path), "--trace-summary"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "opt ms" in out  # the summary table was printed
+    data = json.loads(trace_path.read_text())
+    assert data["schema"] == TRACE_SCHEMA
+    assert validate_report(data) == []
+    assert data["meta"]["kind"] == "run"
+    assert data["meta"]["engine"] == "vectorized"
+    run = data["spans"][0]
+    assert run["name"] == "run"
+    levels = [c for c in run["children"] if c["name"] == "level"]
+    assert levels
+    sweeps = [
+        s
+        for level in levels
+        for opt in level["children"]
+        if opt["name"] == "optimization"
+        for s in opt["children"]
+        if s["name"] == "sweep"
+    ]
+    assert sweeps and all("moved" in s["counters"] for s in sweeps)
+
+
+def test_detect_trace_non_gpu_solver(karate_file, tmp_path):
+    import json
+
+    from repro.trace import validate_report
+
+    trace_path = tmp_path / "trace.json"
+    assert main(
+        ["detect", karate_file, "--solver", "seq", "--trace", str(trace_path)]
+    ) == 0
+    data = json.loads(trace_path.read_text())
+    assert validate_report(data) == []
+    assert data["meta"]["solver"] == "seq"
+
+
+def test_stream_trace_container(karate_file, capsys, tmp_path):
+    import json
+
+    from repro.trace import TRACE_SCHEMA, validate_report
+
+    trace_path = tmp_path / "stream.json"
+    assert main(
+        [
+            "stream", karate_file, "--synthetic", "8", "--batches", "2",
+            "--seed", "1", "--trace", str(trace_path), "--trace-summary",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "--- batch 1" in out
+    data = json.loads(trace_path.read_text())
+    assert data["schema"] == TRACE_SCHEMA
+    assert data["meta"]["kind"] == "stream"
+    assert validate_report(data["initial"]) == []
+    assert len(data["batches"]) == 2
+    for i, report in enumerate(data["batches"], start=1):
+        assert validate_report(report) == []
+        assert report["meta"]["kind"] == "batch"
+        assert report["result"]["batch"] == i
