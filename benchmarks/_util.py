@@ -18,7 +18,7 @@ from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
-__all__ = ["emit", "emit_report", "RESULTS_DIR"]
+__all__ = ["emit", "emit_report", "RESULTS_DIR", "TRAJECTORY_PATH"]
 
 
 def emit(name: str, text: str) -> Path:
@@ -30,12 +30,23 @@ def emit(name: str, text: str) -> Path:
     return path
 
 
-def emit_report(name: str, reports, *, meta: dict | None = None) -> Path:
+TRAJECTORY_PATH = RESULTS_DIR / "BENCH_trajectory.json"
+
+
+def emit_report(
+    name: str, reports, *, meta: dict | None = None, trajectory: bool = False
+) -> Path:
     """Persist one or more run reports as ``benchmarks/results/<name>.trace.json``.
 
     ``reports`` is a single :class:`repro.trace.RunReport` or a list of
     them; the file is a ``repro.trace/1`` container with a ``reports``
     array (the same per-report schema the ``--trace`` CLI flag writes).
+
+    With ``trajectory=True``, every report that carries a graph name in
+    its meta is also appended to the perf-trajectory store
+    (``BENCH_trajectory.json``) so ``python -m repro trajectory`` and the
+    regression gate can see the run; reports without a graph name are
+    skipped (they cannot be keyed).
     """
     from repro.trace import TRACE_SCHEMA, RunReport
 
@@ -50,4 +61,17 @@ def emit_report(name: str, reports, *, meta: dict | None = None) -> Path:
     path = RESULTS_DIR / f"{name}.trace.json"
     path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"[trace written to {path}]")
+    if trajectory:
+        from repro.obs import TrajectoryStore, current_commit, entry_from_report
+
+        commit = current_commit()
+        entries = [
+            entry_from_report(report, commit=commit)
+            for report in reports
+            if report.meta.get("graph")
+        ]
+        if entries:
+            total = TrajectoryStore(TRAJECTORY_PATH).append(entries)
+            print(f"[{len(entries)} trajectory entries appended "
+                  f"to {TRAJECTORY_PATH} ({total} total)]")
     return path

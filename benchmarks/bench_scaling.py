@@ -16,9 +16,10 @@ import pytest
 
 from repro.bench.reporting import banner, format_table
 from repro.bench.runner import run_gpu, run_sequential
-from repro.bench.suite import SUITE
+from repro.bench.suite import suite_entry
+from repro.trace import report_from_result
 
-from _util import emit
+from _util import emit, emit_report
 
 GRAPH_NAMES = ("com-youtube", "italy_osm", "rgg_n_2_22_s0")
 SCALES = (0.25, 0.5, 1.0, 2.0)
@@ -27,8 +28,9 @@ SCALES = (0.25, 0.5, 1.0, 2.0)
 @pytest.fixture(scope="module")
 def scaling_rows():
     rows = []
+    reports = []
     for name in GRAPH_NAMES:
-        entry = next(e for e in SUITE if e.name == name)
+        entry = suite_entry(name)
         for scale in SCALES:
             graph = entry.load(scale)
             seq = run_sequential(graph)
@@ -44,21 +46,35 @@ def scaling_rows():
                     seq.seconds / gpu.seconds,
                 )
             )
-    return rows
+            for run, engine in ((seq, "seq"), (gpu, "vectorized")):
+                reports.append(
+                    report_from_result(
+                        run.result,
+                        kind="run",
+                        graph=name,
+                        engine=engine,
+                        solver=run.name,
+                        scale=scale,
+                        num_vertices=graph.num_vertices,
+                        num_edges=graph.num_edges,
+                        seconds=round(run.seconds, 6),
+                    )
+                )
+    return rows, reports
 
 
 def test_speedup_grows_with_scale(benchmark, scaling_rows):
-    entry = next(e for e in SUITE if e.name == GRAPH_NAMES[0])
-    graph = entry.load(1.0)
+    rows, reports = scaling_rows
+    graph = suite_entry(GRAPH_NAMES[0]).load(1.0)
     benchmark.pedantic(lambda: run_gpu(graph), rounds=2, iterations=1)
 
     table = format_table(
         ["graph", "scale", "n", "E", "seq s", "gpu s", "speedup"],
-        [list(r) for r in scaling_rows],
+        [list(r) for r in rows],
     )
     trends = []
     for name in GRAPH_NAMES:
-        series = [r[6] for r in scaling_rows if r[0] == name]
+        series = [r[6] for r in rows if r[0] == name]
         trends.append(series[-1] / series[0])
     summary = (
         "speedup(scale=2) / speedup(scale=0.25) per graph: "
@@ -66,6 +82,7 @@ def test_speedup_grows_with_scale(benchmark, scaling_rows):
         + "\n(the paper's Table-1 pattern: larger graphs -> larger speedups)"
     )
     emit("scaling_study", banner("Scaling study") + "\n" + table + "\n\n" + summary)
+    emit_report("scaling_study", reports, trajectory=True)
 
     # The trend must be positive on average and for most graphs.
     assert np.mean(trends) > 1.3

@@ -23,10 +23,11 @@ import numpy as np
 import pytest
 
 from repro.bench.reporting import banner, format_table
-from repro.bench.suite import SUITE
+from repro.bench.suite import suite_entry
 from repro.core.gpu_louvain import gpu_louvain
+from repro.trace import report_from_result
 
-from _util import emit
+from _util import emit, emit_report
 
 #: The suite's two largest graphs by paper edge count, at scales where
 #: the phase runs enough sweeps for a stable measurement.
@@ -50,7 +51,7 @@ def _opt_seconds(out) -> float:
 def measurements():
     rows = []
     for name, scale in CASES:
-        entry = next(e for e in SUITE if e.name == name)
+        entry = suite_entry(name)
         graph = entry.load(scale)
         best = {False: np.inf, True: np.inf}
         runs = {}
@@ -131,6 +132,24 @@ def test_sweep_plan_speedup(benchmark, measurements):
         ]
     )
     emit("bench_sweep_plan", text)
+
+    scales = dict(CASES)
+    reports = [
+        report_from_result(
+            runs[use_plan],
+            kind="run",
+            graph=entry.name,
+            engine="vectorized",
+            scale=scales[entry.name],
+            use_sweep_plan=use_plan,
+            bin_vertex_limit=BIN_VERTEX_LIMIT,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+        )
+        for entry, graph, _, runs in measurements
+        for use_plan in (False, True)
+    ]
+    emit_report("bench_sweep_plan", reports, trajectory=True)
 
     for name, speedup in speedups:
         assert speedup >= MIN_SPEEDUP, f"{name}: {speedup:.2f}x < {MIN_SPEEDUP}x"

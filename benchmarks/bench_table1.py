@@ -16,8 +16,9 @@ import pytest
 from repro.bench.reporting import banner, format_table, geometric_mean
 from repro.bench.runner import run_gpu, table1_rows
 from repro.bench.suite import SUITE, load_suite_graph
+from repro.trace import report_from_result
 
-from _util import emit
+from _util import emit, emit_report
 
 
 @pytest.fixture(scope="module")
@@ -68,6 +69,26 @@ def test_table1_reproduction(benchmark, rows):
         f"min={min(rel_mods):.4f} (paper: avg > 0.99, never < 0.98)"
     )
     emit("table1_fig3", banner("Table 1 / Figure 3 reproduction") + "\n" + table + "\n\n" + summary)
+
+    reports = [
+        report_from_result(
+            result,
+            kind="run",
+            graph=r.entry.name,
+            engine=engine,
+            solver=solver,
+            num_vertices=r.num_vertices,
+            num_edges=r.num_edges,
+            seconds=round(seconds, 6),
+        )
+        for r in rows
+        for solver, engine, result, seconds in (
+            ("gpu", "vectorized", r.gpu_result, r.gpu_seconds),
+            ("seq", "seq", r.seq_result, r.seq_seconds),
+        )
+        if result is not None
+    ]
+    emit_report("table1_fig3", reports, trajectory=True)
 
     assert all(s > 1.0 for s in speedups[:20]) or np.mean(speedups) > 2.0
     assert np.mean(rel_mods) > 0.97

@@ -19,6 +19,7 @@ Sub-packages:
 * :mod:`repro.parallel` — comparator parallel implementations
 * :mod:`repro.bench`    — the Table-1 analog suite and experiment runner
 * :mod:`repro.trace`    — structured tracing and JSON run reports
+* :mod:`repro.obs`      — trace analytics: diff, trajectory, regression gate
 """
 
 from .core import GPULouvainConfig, GPULouvainResult, gpu_louvain

@@ -16,6 +16,7 @@ from ..core.gpu_louvain import gpu_louvain
 from ..graph.csr import CSRGraph
 from ..result import LouvainResult
 from ..seq.louvain import louvain as sequential_louvain
+from ..trace import RunReport, Tracer, report_from_result
 from .suite import SUITE, SuiteEntry
 
 __all__ = [
@@ -23,6 +24,7 @@ __all__ = [
     "SolverRun",
     "run_gpu",
     "run_sequential",
+    "suite_report",
     "Table1Row",
     "table1_rows",
     "ThresholdCell",
@@ -56,6 +58,7 @@ def run_gpu(
     threshold_bin: float = 1e-2,
     threshold_final: float = 1e-6,
     bin_vertex_limit: int = 1_000,
+    tracer: Tracer | None = None,
     **overrides,
 ) -> SolverRun:
     """Run the GPU engine with suite-scaled adaptive thresholds.
@@ -73,10 +76,52 @@ def run_gpu(
             threshold_bin=threshold_bin,
             threshold_final=threshold_final,
             bin_vertex_limit=bin_vertex_limit,
+            tracer=tracer,
             **overrides,
         )
     )
     return SolverRun("gpu", seconds, result.modularity, result.num_levels, result)
+
+
+#: Suite-scaled GPU defaults (see :func:`run_gpu`) — also the config
+#: meta :func:`suite_report` fingerprints trajectory entries under.
+SUITE_GPU_DEFAULTS = {
+    "threshold_bin": 1e-2,
+    "threshold_final": 1e-6,
+    "bin_vertex_limit": 1_000,
+}
+
+
+def suite_report(
+    entry: SuiteEntry,
+    *,
+    engine: str = "vectorized",
+    scale: float = 1.0,
+    **overrides,
+) -> RunReport:
+    """One traced GPU run of a suite entry as a :class:`RunReport`.
+
+    The report's ``meta`` carries the graph name, engine, scale, and the
+    resolved config values (``SUITE_GPU_DEFAULTS`` + ``overrides``) —
+    everything :func:`repro.obs.trajectory.entry_from_report` needs to
+    key a stable trajectory entry.
+    """
+    graph = entry.load(scale)
+    config = {**SUITE_GPU_DEFAULTS, **overrides}
+    tracer = Tracer()
+    run = run_gpu(graph, engine=engine, tracer=tracer, **config)
+    return report_from_result(
+        run.result,
+        tracer=tracer,
+        kind="run",
+        graph=entry.name,
+        engine=engine,
+        scale=scale,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        seconds=round(run.seconds, 6),
+        **config,
+    )
 
 
 def run_sequential(
@@ -113,6 +158,10 @@ class Table1Row:
     gpu_seconds: float
     seq_modularity: float
     gpu_modularity: float
+    #: Full solver results, kept so benchmarks can emit per-stage
+    #: ``repro.trace`` reports without re-running the suite.
+    seq_result: LouvainResult | None = None
+    gpu_result: LouvainResult | None = None
 
     @property
     def speedup(self) -> float:
@@ -152,6 +201,8 @@ def table1_rows(
                 gpu_seconds=gpu.seconds,
                 seq_modularity=seq.modularity,
                 gpu_modularity=gpu.modularity,
+                seq_result=seq.result,
+                gpu_result=gpu.result,
             )
         )
     return rows

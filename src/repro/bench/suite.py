@@ -23,7 +23,14 @@ import numpy as np
 from ..graph import generators as gen
 from ..graph.csr import CSRGraph
 
-__all__ = ["SuiteEntry", "SUITE", "suite_names", "load_suite_graph", "small_suite"]
+__all__ = [
+    "SuiteEntry",
+    "SUITE",
+    "suite_names",
+    "suite_entry",
+    "load_suite_graph",
+    "small_suite",
+]
 
 
 def _seed(name: str) -> int:
@@ -206,12 +213,17 @@ def suite_names() -> list[str]:
     return [entry.name for entry in SUITE]
 
 
+def suite_entry(name: str) -> SuiteEntry:
+    """The Table-1 entry for a graph name (:class:`KeyError` if unknown)."""
+    if name not in _BY_NAME:
+        raise KeyError(f"unknown suite graph {name!r}; see suite_names()")
+    return _BY_NAME[name]
+
+
 @lru_cache(maxsize=128)
 def load_suite_graph(name: str, scale: float = 1.0) -> CSRGraph:
     """Build (and cache) the analog graph for a Table-1 name."""
-    if name not in _BY_NAME:
-        raise KeyError(f"unknown suite graph {name!r}; see suite_names()")
-    return _BY_NAME[name].load(scale)
+    return suite_entry(name).load(scale)
 
 
 def small_suite() -> list[SuiteEntry]:

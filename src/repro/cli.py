@@ -8,6 +8,13 @@ Commands
 ``generate``  synthesise a graph from one of the generator families
 ``suite``     list or materialise the Table-1 analog benchmark suite
 
+Trace analytics (:mod:`repro.obs`)
+----------------------------------
+``trace-summary``  stage table + critical-path flame view of a trace file
+``trace-diff``     diff two traces by span path; exit 1 on regression
+``trajectory``     query the append-only perf-trajectory store
+``bench-gate``     run the small suite and gate it against the baseline
+
 Examples::
 
     python -m repro generate social -n 5000 -m 8 -o social.txt
@@ -16,6 +23,11 @@ Examples::
     python -m repro stream social.txt --updates batches.txt -o final.txt
     python -m repro stream social.txt --synthetic 200 --batches 5
     python -m repro suite --name road_usa -o road.txt
+    python -m repro detect social.txt --trace run.json
+    python -m repro trace-summary run.json
+    python -m repro trace-diff baseline.json candidate.json --threshold 1.5
+    python -m repro trajectory --graph uk-2002 --metric optimization_seconds --last 10
+    python -m repro bench-gate --baseline benchmarks/results/BENCH_trajectory.json
 """
 
 from __future__ import annotations
@@ -142,6 +154,73 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--name", help="materialise one entry's analog graph")
     suite.add_argument("--scale", type=float, default=1.0)
     suite.add_argument("-o", "--output", help="output path (with --name)")
+
+    summary = sub.add_parser(
+        "trace-summary", help="analyze a repro.trace/1 JSON file"
+    )
+    summary.add_argument("path", help="trace file (detect/stream --trace or "
+                                      "a bench *.trace.json container)")
+    summary.add_argument("--depth", type=int, default=3,
+                         help="flame-view depth (default 3: run/level/stage)")
+    summary.add_argument("--json", action="store_true",
+                         help="print the per-span-path aggregates as JSON")
+
+    tdiff = sub.add_parser(
+        "trace-diff", help="diff two traces by span path (exit 1 on regression)"
+    )
+    tdiff.add_argument("baseline", help="baseline trace file")
+    tdiff.add_argument("candidate", help="candidate trace file")
+    tdiff.add_argument("--threshold", type=float, default=1.5,
+                       help="allowed per-path slowdown ratio (default 1.5)")
+    tdiff.add_argument("--min-seconds", type=float, default=1e-4,
+                       help="absolute slowdown floor below which a path "
+                            "never regresses (default 1e-4)")
+    tdiff.add_argument("--all", action="store_true",
+                       help="show paths within threshold too")
+    tdiff.add_argument("--json", action="store_true",
+                       help="print the machine-readable verdict document")
+
+    traj = sub.add_parser(
+        "trajectory", help="query the append-only perf-trajectory store"
+    )
+    traj.add_argument("--file", default="benchmarks/results/BENCH_trajectory.json",
+                      help="trajectory store path (default: the committed "
+                           "benchmarks/results/BENCH_trajectory.json)")
+    traj.add_argument("--keys", action="store_true",
+                      help="list distinct (graph, engine, fingerprint) keys")
+    traj.add_argument("--graph", help="filter by graph name")
+    traj.add_argument("--engine", help="filter by engine")
+    traj.add_argument("--fingerprint", help="filter by config fingerprint")
+    traj.add_argument("--metric", default="optimization_seconds",
+                      help="metric to chart (default optimization_seconds)")
+    traj.add_argument("--last", type=int, default=None,
+                      help="only the most recent N matching entries")
+
+    gate = sub.add_parser(
+        "bench-gate", help="run the small suite and gate against the baseline"
+    )
+    gate.add_argument("--baseline",
+                      default="benchmarks/results/BENCH_trajectory.json",
+                      help="trajectory store holding the baseline history")
+    gate.add_argument("--current", metavar="FILE",
+                      help="gate a saved trace container instead of "
+                           "running the suite (reports need meta['graph'])")
+    gate.add_argument("--threshold", type=float, default=2.0,
+                      help="allowed slowdown ratio vs the baseline window "
+                           "minimum (default 2.0)")
+    gate.add_argument("--window", type=int, default=5,
+                      help="baseline entries per key to consider (default 5)")
+    gate.add_argument("--scale", type=float, default=0.25,
+                      help="suite scale for the gate runs (default 0.25)")
+    gate.add_argument("--engines", default="vectorized,simulated",
+                      help="comma-separated engines (default both)")
+    gate.add_argument("--repeats", type=int, default=2,
+                      help="runs per key, keeping the fastest (default 2)")
+    gate.add_argument("--append", action="store_true",
+                      help="append the current entries to the baseline "
+                           "store after the check")
+    gate.add_argument("--json", action="store_true",
+                      help="print the machine-readable verdict document")
 
     return parser
 
@@ -441,10 +520,13 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 handle.write(_json.dumps(payload, indent=2) + "\n")
             print(f"trace written to {args.trace}")
         if args.trace_summary:
+            from .obs import format_stream_aggregate, stream_aggregate
+
             for report in session.reports:
                 print(f"--- batch {report.result.get('batch')} "
                       f"({report.result.get('mode')}) ---")
                 print(report.summary())
+            print(format_stream_aggregate(stream_aggregate(session.reports)))
     if args.output:
         with open(args.output, "w") as handle:
             handle.write("# vertex community\n")
@@ -513,6 +595,147 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    from .obs import (
+        critical_path,
+        flatten_reports,
+        format_stream_aggregate,
+        load_trace,
+        stage_table,
+        stream_aggregate,
+    )
+
+    reports = load_trace(args.path)
+    if not reports:
+        print(f"{args.path}: no reports in trace")
+        return 1
+    if args.json:
+        import json as _json
+
+        aggregates = flatten_reports(reports)
+        print(_json.dumps([a.to_dict() for a in aggregates.values()], indent=2))
+        return 0
+    for report in reports:
+        if len(reports) > 1:
+            meta = report.meta
+            label = "  ".join(
+                f"{key}={meta[key]}"
+                for key in ("kind", "graph", "engine", "solver", "batch")
+                if key in meta
+            )
+            print(f"--- {label or 'report'} ---")
+        print(stage_table(report))
+        print()
+        print(critical_path(report, max_depth=args.depth))
+        if len(reports) > 1:
+            print()
+    aggregate = stream_aggregate(reports)
+    if aggregate["batches"]:
+        print(format_stream_aggregate(aggregate))
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    from .obs import diff_reports, load_trace
+
+    diff = diff_reports(
+        load_trace(args.baseline),
+        load_trace(args.candidate),
+        threshold=args.threshold,
+        min_seconds=args.min_seconds,
+    )
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(diff.to_dict(), indent=2))
+    else:
+        print(diff.format(show_all=args.all))
+    return 0 if diff.ok else 1
+
+
+def _cmd_trajectory(args: argparse.Namespace) -> int:
+    import datetime
+
+    from .bench.reporting import format_table
+    from .obs import TrajectoryStore
+
+    store = TrajectoryStore(args.file)
+    if not store.path.exists():
+        print(f"{args.file}: no trajectory store")
+        return 1
+    if args.keys:
+        for graph, engine, fp in store.keys():
+            print(f"{graph} [{engine}] {fp}")
+        return 0
+    rows = store.series(
+        graph=args.graph,
+        engine=args.engine,
+        fingerprint=args.fingerprint,
+        metric=args.metric,
+        last=args.last,
+    )
+    if not rows:
+        print("no trajectory entries match the filter")
+        return 1
+    in_seconds = args.metric.endswith("seconds")
+    header = f"{args.metric} (ms)" if in_seconds else args.metric
+    table_rows = []
+    prev: float | None = None
+    for entry, value in rows:
+        when = datetime.datetime.fromtimestamp(entry.timestamp)
+        change = "-" if not prev else f"{value / prev:.2f}x"
+        table_rows.append(
+            (
+                when.strftime("%Y-%m-%d %H:%M"),
+                entry.commit,
+                entry.graph,
+                entry.engine,
+                f"{value * 1e3:.2f}" if in_seconds else f"{value:g}",
+                change,
+            )
+        )
+        prev = value
+    print(format_table(
+        ("when", "commit", "graph", "engine", header, "vs prev"), table_rows
+    ))
+    return 0
+
+
+def _cmd_bench_gate(args: argparse.Namespace) -> int:
+    from .obs import (
+        TrajectoryStore,
+        entry_from_report,
+        evaluate_gate,
+        load_trace,
+        run_gate_entries,
+    )
+
+    store = TrajectoryStore(args.baseline)
+    if args.current:
+        current = [entry_from_report(r) for r in load_trace(args.current)]
+    else:
+        engines = tuple(e for e in args.engines.split(",") if e)
+        current = run_gate_entries(
+            engines=engines,
+            scale=args.scale,
+            repeats=args.repeats,
+            progress=print,
+        )
+    result = evaluate_gate(
+        current, store, threshold=args.threshold, window=args.window
+    )
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.format())
+    if args.append:
+        total = store.append(current)
+        print(f"appended {len(current)} entries to {store.path} ({total} total)")
+    return 0 if result.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -526,6 +749,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_generate(args)
     if args.command == "suite":
         return _cmd_suite(args)
+    if args.command == "trace-summary":
+        return _cmd_trace_summary(args)
+    if args.command == "trace-diff":
+        return _cmd_trace_diff(args)
+    if args.command == "trajectory":
+        return _cmd_trajectory(args)
+    if args.command == "bench-gate":
+        return _cmd_bench_gate(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -1,0 +1,85 @@
+"""Observability analytics over ``repro.trace/1`` reports.
+
+PR 3 made every engine *emit* span trees; this package *consumes* them:
+
+* :mod:`repro.obs.analyze` — per-span-path aggregates, the Fig. 5/6
+  stage-breakdown table with derived rates (per-level MTEPS, moves per
+  sweep, hash-probe rate, frontier fraction), and a text critical-path
+  / flame view;
+* :mod:`repro.obs.diff` — structural diff of two traced runs matched by
+  span path, with a slowdown threshold and machine-readable verdict;
+* :mod:`repro.obs.trajectory` — the append-only perf-trajectory store
+  (``BENCH_trajectory.json``) keyed by (graph, engine, config
+  fingerprint, commit);
+* :mod:`repro.obs.gate` — the regression gate CI runs via
+  ``python -m repro bench-gate``.
+
+CLI verbs: ``repro trace-summary``, ``repro trace-diff``,
+``repro trajectory``, ``repro bench-gate``.
+"""
+
+from .analyze import (
+    LevelMetrics,
+    PathAggregate,
+    critical_path,
+    critical_path_spans,
+    flatten_report,
+    flatten_reports,
+    format_stream_aggregate,
+    level_metrics,
+    load_trace,
+    span_component,
+    stage_table,
+    stream_aggregate,
+)
+from .diff import PathDelta, TraceDiff, diff_reports
+from .gate import (
+    DEFAULT_METRICS,
+    GateCheck,
+    GateResult,
+    evaluate_gate,
+    run_gate_entries,
+)
+from .trajectory import (
+    TRAJECTORY_SCHEMA,
+    TrajectoryEntry,
+    TrajectoryStore,
+    config_fingerprint,
+    current_commit,
+    entry_from_report,
+    fingerprint,
+)
+
+__all__ = [
+    # analyze
+    "PathAggregate",
+    "span_component",
+    "flatten_report",
+    "flatten_reports",
+    "LevelMetrics",
+    "level_metrics",
+    "stage_table",
+    "critical_path",
+    "critical_path_spans",
+    "load_trace",
+    "stream_aggregate",
+    "format_stream_aggregate",
+    # diff
+    "PathDelta",
+    "TraceDiff",
+    "diff_reports",
+    # trajectory
+    "TRAJECTORY_SCHEMA",
+    "TrajectoryEntry",
+    "TrajectoryStore",
+    "fingerprint",
+    "config_fingerprint",
+    "entry_from_report",
+    "current_commit",
+    # gate
+    "DEFAULT_METRICS",
+    "GateCheck",
+    "GateResult",
+    "evaluate_gate",
+    "run_gate_entries",
+]

@@ -1,0 +1,366 @@
+"""Trace analytics: per-span-path aggregates, stage tables, flame views.
+
+A :class:`~repro.trace.RunReport` carries the raw span tree; this module
+turns it into the paper's analysis artifacts:
+
+* :func:`flatten_report` — collapse the tree into **span-path
+  aggregates** (``run/level[0]/optimization`` → summed seconds and
+  counters), the structural key that :mod:`repro.obs.diff` matches
+  reports on;
+* :func:`level_metrics` / :func:`stage_table` — the Fig. 5/6-style
+  per-level breakdown (optimization vs aggregation seconds, opt
+  fraction) extended with derived rates: MTEPS per level (§3 of the
+  paper, ``2E·sweeps / opt_seconds``), moves per sweep, hash-probe
+  rate, and peak frontier fraction for streamed batches;
+* :func:`critical_path` — a text flame view of the span tree with the
+  hottest root→leaf chain marked;
+* :func:`load_trace` — read any of the three ``repro.trace/1`` container
+  shapes (single report, ``stream`` container, ``bench`` container)
+  into a flat list of reports;
+* :func:`stream_aggregate` — the cross-batch roll-up printed by
+  ``python -m repro stream --trace-summary``.
+
+Span paths
+----------
+A span's path component is its name, suffixed with the span's own index
+attribute when it carries one named after itself (``level`` spans have a
+``level`` attribute, ``sweep`` spans a ``sweep`` attribute, ``batch``
+spans a ``batch`` attribute): ``run``, ``batch[3]/run/level[0]/
+optimization/sweep[1]``.  Sibling spans with equal paths aggregate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..bench.reporting import format_table
+from ..trace import RunReport, Span
+
+__all__ = [
+    "PathAggregate",
+    "span_component",
+    "flatten_report",
+    "flatten_reports",
+    "LevelMetrics",
+    "level_metrics",
+    "stage_table",
+    "critical_path",
+    "critical_path_spans",
+    "load_trace",
+    "stream_aggregate",
+    "format_stream_aggregate",
+]
+
+
+def span_component(span: Span) -> str:
+    """Path component of one span (name plus its own index attribute)."""
+    index = span.attributes.get(span.name)
+    if isinstance(index, bool) or not isinstance(index, int):
+        return span.name
+    return f"{span.name}[{index}]"
+
+
+@dataclass
+class PathAggregate:
+    """Summed measurements of every span sharing one path."""
+
+    path: str
+    count: int = 0
+    seconds: float = 0.0
+    counters: dict[str, float] = field(default_factory=dict)
+
+    def add_span(self, span: Span) -> None:
+        """Fold one span's measurements into this aggregate."""
+        self.count += 1
+        self.seconds += span.seconds
+        for name, value in span.counters.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self.counters[name] = self.counters.get(name, 0) + value
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form of this aggregate."""
+        return {
+            "path": self.path,
+            "count": self.count,
+            "seconds": self.seconds,
+            "counters": dict(self.counters),
+        }
+
+
+def _walk(span: Span, prefix: str, into: dict[str, PathAggregate]) -> None:
+    path = f"{prefix}/{span_component(span)}" if prefix else span_component(span)
+    agg = into.get(path)
+    if agg is None:
+        agg = into[path] = PathAggregate(path)
+    agg.add_span(span)
+    for child in span.children:
+        _walk(child, path, into)
+
+
+def flatten_report(report: RunReport) -> dict[str, PathAggregate]:
+    """Per-span-path aggregates of one report (insertion = tree order)."""
+    aggregates: dict[str, PathAggregate] = {}
+    for root in report.spans:
+        _walk(root, "", aggregates)
+    return aggregates
+
+
+def flatten_reports(reports: list[RunReport]) -> dict[str, PathAggregate]:
+    """Per-span-path aggregates across several reports (e.g. a stream)."""
+    aggregates: dict[str, PathAggregate] = {}
+    for report in reports:
+        for root in report.spans:
+            _walk(root, "", aggregates)
+    return aggregates
+
+
+# --------------------------------------------------------------------- #
+# Fig. 5/6 stage breakdown with derived metrics
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class LevelMetrics:
+    """One hierarchy level's measured and derived numbers."""
+
+    level: int
+    num_vertices: int
+    num_edges: int
+    sweeps: int
+    moved: int
+    optimization_seconds: float
+    aggregation_seconds: float
+    modularity: float | None
+    #: §3 TEPS in mega-units: both stored directions of every edge are
+    #: scored once per sweep, so traversed = 2E * sweeps.
+    mteps: float
+    moves_per_sweep: float
+    #: Aggregation hash probes per second of aggregation time (M/s);
+    #: 0 where the contraction path records no probes (bincount).
+    probe_mrate: float
+    #: Peak sweep frontier as a fraction of the level's vertices
+    #: (0 for non-streamed runs, which record no frontier).
+    frontier_fraction: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Optimization plus aggregation seconds."""
+        return self.optimization_seconds + self.aggregation_seconds
+
+    @property
+    def optimization_fraction(self) -> float:
+        """Share of the level spent in modularity optimization."""
+        total = self.total_seconds
+        return self.optimization_seconds / total if total > 0 else 0.0
+
+
+def _first(span: Span, name: str) -> Span | None:
+    for child in span.children:
+        if child.name == name:
+            return child
+    return None
+
+
+def level_metrics(report: RunReport) -> list[LevelMetrics]:
+    """Per-level measured + derived metrics of every ``level`` span."""
+    rows: list[LevelMetrics] = []
+    for root in report.spans:
+        for level in root.find("level"):
+            opt = _first(level, "optimization")
+            agg = _first(level, "aggregation")
+            opt_s = opt.seconds if opt else 0.0
+            agg_s = agg.seconds if agg else 0.0
+            opt_c = opt.counters if opt else {}
+            agg_c = agg.counters if agg else {}
+            sweeps = int(opt_c.get("sweeps", level.counters.get("sweeps", 0)))
+            moved = int(opt_c.get("moved", 0))
+            n = int(level.attributes.get("num_vertices", 0))
+            num_edges = int(level.attributes.get("num_edges", 0))
+            frontier_peak = 0.0
+            if opt is not None:
+                for sweep in opt.children:
+                    if sweep.name == "sweep":
+                        frontier_peak = max(
+                            frontier_peak, sweep.counters.get("frontier_size", 0)
+                        )
+            q = level.counters.get("modularity")
+            probes = float(agg_c.get("hash_probes", 0))
+            rows.append(
+                LevelMetrics(
+                    level=int(level.attributes.get("level", len(rows))),
+                    num_vertices=n,
+                    num_edges=num_edges,
+                    sweeps=sweeps,
+                    moved=moved,
+                    optimization_seconds=opt_s,
+                    aggregation_seconds=agg_s,
+                    modularity=float(q) if q is not None else None,
+                    mteps=(2.0 * num_edges * sweeps / opt_s / 1e6) if opt_s > 0 else 0.0,
+                    moves_per_sweep=moved / sweeps if sweeps > 0 else 0.0,
+                    probe_mrate=(probes / agg_s / 1e6) if agg_s > 0 else 0.0,
+                    frontier_fraction=frontier_peak / n if n > 0 else 0.0,
+                )
+            )
+    return rows
+
+
+def stage_table(report: RunReport) -> str:
+    """The Fig. 5/6 stage-breakdown table with derived rates."""
+    rows = []
+    for m in level_metrics(report):
+        rows.append(
+            (
+                m.level,
+                m.num_vertices,
+                m.num_edges,
+                m.sweeps,
+                m.moved,
+                f"{m.optimization_seconds * 1e3:.2f}",
+                f"{m.aggregation_seconds * 1e3:.2f}",
+                f"{m.optimization_fraction:.0%}",
+                f"{m.mteps:.2f}",
+                f"{m.moves_per_sweep:.1f}",
+                f"{m.probe_mrate:.2f}",
+                f"{m.frontier_fraction:.1%}",
+                "-" if m.modularity is None else f"{m.modularity:.4f}",
+            )
+        )
+    return format_table(
+        (
+            "level", "n", "E", "sweeps", "moved", "opt ms", "agg ms",
+            "opt%", "MTEPS", "mv/swp", "probes M/s", "front%", "Q",
+        ),
+        rows,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Critical path / flame view
+# --------------------------------------------------------------------- #
+def critical_path_spans(report: RunReport) -> list[tuple[str, Span]]:
+    """The hottest root→leaf chain as ``(path, span)`` pairs.
+
+    Greedy descent: from each span, follow the child with the largest
+    wall-clock seconds.  This is the chain an optimisation effort should
+    walk first.
+    """
+    if not report.spans:
+        return []
+    span = max(report.spans, key=lambda s: s.seconds)
+    path = span_component(span)
+    chain = [(path, span)]
+    while span.children:
+        span = max(span.children, key=lambda s: s.seconds)
+        path = f"{path}/{span_component(span)}"
+        chain.append((path, span))
+    return chain
+
+
+def critical_path(report: RunReport, *, max_depth: int = 3) -> str:
+    """Text flame view of the span tree, critical path marked with ``*``.
+
+    Each line shows the span, its wall-clock milliseconds, its share of
+    the root's seconds, and its *self* share (time not attributed to
+    children).  ``max_depth`` prunes the sweep layer by default.
+    """
+    lines: list[str] = []
+    hot = {id(span) for _, span in critical_path_spans(report)}
+    total = sum(span.seconds for span in report.spans) or 1.0
+
+    def render(span: Span, depth: int) -> None:
+        if depth >= max_depth:
+            return
+        child_s = sum(c.seconds for c in span.children)
+        self_s = max(span.seconds - child_s, 0.0)
+        mark = " *" if id(span) in hot else ""
+        lines.append(
+            f"{'  ' * depth}{span_component(span):<{max(30 - 2 * depth, 8)}s} "
+            f"{span.seconds * 1e3:9.2f} ms  {span.seconds / total:6.1%}  "
+            f"self {self_s / total:6.1%}{mark}"
+        )
+        for child in span.children:
+            render(child, depth + 1)
+
+    for root in report.spans:
+        render(root, 0)
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# Trace file loading (all three container shapes)
+# --------------------------------------------------------------------- #
+def load_trace(path: str | Path) -> list[RunReport]:
+    """Read a ``repro.trace/1`` file into a flat list of reports.
+
+    Accepts every shape the toolchain writes: a single report (``detect
+    --trace``), a stream container with ``initial`` + ``batches``
+    (``stream --trace``), and a bench container with ``reports``
+    (:func:`benchmarks._util.emit_report`).
+    """
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: not a repro.trace/1 document")
+    if "spans" in data:
+        return [RunReport.from_dict(data)]
+    reports: list[RunReport] = []
+    if "initial" in data or "batches" in data:
+        if data.get("initial") is not None:
+            reports.append(RunReport.from_dict(data["initial"]))
+        reports.extend(RunReport.from_dict(r) for r in data.get("batches", []))
+        return reports
+    if "reports" in data:
+        return [RunReport.from_dict(r) for r in data.get("reports", [])]
+    raise ValueError(
+        f"{path}: unrecognised trace container "
+        "(expected 'spans', 'initial'/'batches', or 'reports')"
+    )
+
+
+# --------------------------------------------------------------------- #
+# Streaming roll-up
+# --------------------------------------------------------------------- #
+def stream_aggregate(reports: list[RunReport]) -> dict[str, Any]:
+    """Cross-batch aggregate of a stream's per-batch reports.
+
+    Considers only ``meta.kind == "batch"`` reports (the initial run and
+    any surrounding reports are skipped), and summarises batch count,
+    median/total batch seconds, total and peak frontier size, and the
+    per-mode batch counts.
+    """
+    seconds: list[float] = []
+    frontier_total = 0
+    frontier_peak = 0
+    modes: dict[str, int] = {}
+    for report in reports:
+        if report.meta.get("kind") != "batch":
+            continue
+        result = report.result
+        seconds.append(float(result.get("seconds", 0.0)))
+        frontier = int(result.get("frontier_size", 0))
+        frontier_total += frontier
+        frontier_peak = max(frontier_peak, frontier)
+        mode = str(result.get("mode", "?"))
+        modes[mode] = modes.get(mode, 0) + 1
+    ordered = sorted(seconds)
+    median = ordered[len(ordered) // 2] if ordered else 0.0
+    return {
+        "batches": len(seconds),
+        "median_seconds": median,
+        "total_seconds": float(sum(seconds)),
+        "total_frontier": frontier_total,
+        "peak_frontier": frontier_peak,
+        "modes": modes,
+    }
+
+
+def format_stream_aggregate(aggregate: dict[str, Any]) -> str:
+    """One-paragraph rendering of :func:`stream_aggregate`."""
+    modes = "  ".join(f"{k}={v}" for k, v in sorted(aggregate["modes"].items()))
+    return (
+        f"stream aggregate: {aggregate['batches']} batches  "
+        f"median {aggregate['median_seconds'] * 1e3:.1f} ms  "
+        f"total {aggregate['total_seconds'] * 1e3:.1f} ms  "
+        f"frontier total {aggregate['total_frontier']} "
+        f"(peak {aggregate['peak_frontier']})  modes: {modes or '-'}"
+    )

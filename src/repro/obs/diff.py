@@ -1,0 +1,192 @@
+"""Structural diff of two traced runs, matched by span path.
+
+The question this answers is the one the paper's Figs. 5/6 pose:
+*where did the time go, and did that change?*  Two reports (or report
+lists) are flattened into per-span-path aggregates
+(:func:`~repro.obs.analyze.flatten_report`) and compared path by path:
+
+* every shared path gets a wall-clock ratio and per-counter deltas;
+* a path is a **regression** when the candidate is more than
+  ``threshold``× slower *and* the absolute slowdown exceeds
+  ``min_seconds`` (the floor keeps micro-spans' timer noise from
+  flagging);
+* paths present on only one side are reported as ``added`` /
+  ``removed`` — a structural change (extra level, different
+  aggregation path), not a timing one.
+
+:meth:`TraceDiff.to_dict` is the machine-readable verdict consumed by
+``python -m repro trace-diff`` (exit code 1 on any regression).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..bench.reporting import format_table
+from ..trace import RunReport
+from .analyze import PathAggregate, flatten_reports
+
+__all__ = ["PathDelta", "TraceDiff", "diff_reports"]
+
+DIFF_SCHEMA = "repro.trace-diff/1"
+
+
+@dataclass(frozen=True)
+class PathDelta:
+    """One span path's change between a baseline and a candidate."""
+
+    path: str
+    status: str  #: ``ok`` | ``regression`` | ``improved`` | ``added`` | ``removed``
+    seconds_a: float
+    seconds_b: float
+    counter_deltas: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ratio(self) -> float:
+        """Candidate / baseline seconds (inf for added paths)."""
+        if self.seconds_a > 0:
+            return self.seconds_b / self.seconds_a
+        return float("inf") if self.seconds_b > 0 else 1.0
+
+    @property
+    def delta_seconds(self) -> float:
+        """Candidate minus baseline seconds."""
+        return self.seconds_b - self.seconds_a
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form (ratio omitted when infinite)."""
+        payload: dict[str, Any] = {
+            "path": self.path,
+            "status": self.status,
+            "seconds_a": self.seconds_a,
+            "seconds_b": self.seconds_b,
+            "delta_seconds": self.delta_seconds,
+            "counter_deltas": dict(self.counter_deltas),
+        }
+        if self.seconds_a > 0:
+            payload["ratio"] = self.ratio
+        return payload
+
+
+@dataclass
+class TraceDiff:
+    """The full structural diff plus its pass/fail verdict."""
+
+    deltas: list[PathDelta]
+    threshold: float
+    min_seconds: float
+
+    @property
+    def regressions(self) -> list[PathDelta]:
+        """Paths slower than the threshold allows."""
+        return [d for d in self.deltas if d.status == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no path regressed."""
+        return not self.regressions
+
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable verdict document."""
+        return {
+            "schema": DIFF_SCHEMA,
+            "verdict": "ok" if self.ok else "regression",
+            "threshold": self.threshold,
+            "min_seconds": self.min_seconds,
+            "regressions": [d.path for d in self.regressions],
+            "paths": [d.to_dict() for d in self.deltas],
+        }
+
+    def format(self, *, show_all: bool = False) -> str:
+        """Aligned table of the diff (regressions always shown).
+
+        Without ``show_all``, ``ok`` paths are collapsed to a count and
+        only regressions / improvements / structural changes print.
+        """
+        interesting = [d for d in self.deltas if show_all or d.status != "ok"]
+        lines: list[str] = []
+        if interesting:
+            rows = []
+            for d in interesting:
+                ratio = f"{d.ratio:.2f}x" if d.seconds_a > 0 else "-"
+                rows.append(
+                    (
+                        d.status,
+                        d.path,
+                        f"{d.seconds_a * 1e3:.2f}",
+                        f"{d.seconds_b * 1e3:.2f}",
+                        f"{d.delta_seconds * 1e3:+.2f}",
+                        ratio,
+                    )
+                )
+            lines.append(
+                format_table(
+                    ("status", "path", "a ms", "b ms", "delta ms", "ratio"), rows
+                )
+            )
+        hidden = len(self.deltas) - len(interesting)
+        if hidden:
+            lines.append(f"({hidden} paths within threshold not shown)")
+        lines.append(
+            f"verdict: {'ok' if self.ok else 'REGRESSION'} "
+            f"({len(self.regressions)} regressed path(s), "
+            f"threshold {self.threshold:g}x, floor {self.min_seconds:g}s)"
+        )
+        return "\n".join(lines)
+
+
+def _as_list(reports: RunReport | list[RunReport]) -> list[RunReport]:
+    return [reports] if isinstance(reports, RunReport) else list(reports)
+
+
+def diff_reports(
+    baseline: RunReport | list[RunReport],
+    candidate: RunReport | list[RunReport],
+    *,
+    threshold: float = 1.5,
+    min_seconds: float = 1e-4,
+) -> TraceDiff:
+    """Diff ``candidate`` against ``baseline`` by span path.
+
+    ``threshold`` is the allowed wall-clock ratio per path (1.5 = a path
+    may be up to 50% slower); ``min_seconds`` is the absolute slowdown a
+    path must also exceed to count as a regression.
+    """
+    if threshold <= 1.0:
+        raise ValueError("threshold must be > 1 (a ratio of allowed slowdown)")
+    flat_a = flatten_reports(_as_list(baseline))
+    flat_b = flatten_reports(_as_list(candidate))
+    deltas: list[PathDelta] = []
+    for path in list(flat_a) + [p for p in flat_b if p not in flat_a]:
+        in_a, in_b = path in flat_a, path in flat_b
+        a = flat_a.get(path, PathAggregate(path))
+        b = flat_b.get(path, PathAggregate(path))
+        if not in_b:
+            status = "removed"
+        elif not in_a:
+            status = "added"
+        elif (
+            b.seconds > a.seconds * threshold
+            and b.seconds - a.seconds >= min_seconds
+        ):
+            status = "regression"
+        elif a.seconds > b.seconds * threshold and a.seconds - b.seconds >= min_seconds:
+            status = "improved"
+        else:
+            status = "ok"
+        counter_deltas = {
+            name: b.counters.get(name, 0) - a.counters.get(name, 0)
+            for name in set(a.counters) | set(b.counters)
+            if b.counters.get(name, 0) != a.counters.get(name, 0)
+        }
+        deltas.append(
+            PathDelta(
+                path=path,
+                status=status,
+                seconds_a=a.seconds,
+                seconds_b=b.seconds,
+                counter_deltas=counter_deltas,
+            )
+        )
+    return TraceDiff(deltas=deltas, threshold=threshold, min_seconds=min_seconds)

@@ -1,0 +1,242 @@
+"""Perf regression gate over the trajectory store.
+
+The gate protects the hot paths PRs 1–3 bought (SweepPlan mod-opt,
+streaming, the vectorized engine generally): it runs the small suite
+traced on both engines, turns each run into a
+:class:`~repro.obs.trajectory.TrajectoryEntry`, and compares every
+``(graph, engine, fingerprint)`` key's metrics against the committed
+baseline history.  A metric **regresses** when the current value exceeds
+``threshold ×`` the *best* (minimum) of the last ``window`` baseline
+runs — min, not mean, because timing noise only ever inflates; the
+generous default threshold (2×) makes the gate a tripwire, not a flake
+source.  Keys with no baseline are reported ``new`` and never fail.
+
+``python -m repro bench-gate`` wires this to CI: exit code 0 when
+:attr:`GateResult.ok`, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..bench.reporting import format_table
+from ..bench.suite import SuiteEntry, small_suite
+from .trajectory import (
+    TrajectoryEntry,
+    TrajectoryStore,
+    current_commit,
+    entry_from_report,
+)
+
+__all__ = [
+    "GATE_SCHEMA",
+    "DEFAULT_METRICS",
+    "GateCheck",
+    "GateResult",
+    "evaluate_gate",
+    "run_gate_entries",
+]
+
+GATE_SCHEMA = "repro.bench-gate/1"
+
+#: Metrics the gate checks per key.  Wall-clock totals and the mod-opt
+#: phase specifically — the paper's dominant cost and PR 1's speedup.
+DEFAULT_METRICS = ("total_seconds", "optimization_seconds")
+
+#: Suite scale the gate runs at: small enough that both engines finish
+#: a full pass in seconds, large enough for multi-level hierarchies.
+GATE_SCALE = 0.25
+
+#: Runs per key; the minimum is recorded (timing noise only inflates).
+GATE_REPEATS = 2
+
+
+@dataclass(frozen=True)
+class GateCheck:
+    """One (key, metric) comparison against the baseline."""
+
+    graph: str
+    engine: str
+    fingerprint: str
+    metric: str
+    current: float
+    baseline: float | None  #: best of the baseline window; None = new key
+    threshold: float
+
+    @property
+    def ratio(self) -> float | None:
+        """Current / baseline (None for new keys or zero baselines)."""
+        if self.baseline is None or self.baseline <= 0:
+            return None
+        return self.current / self.baseline
+
+    @property
+    def status(self) -> str:
+        """``ok`` | ``regression`` | ``new``."""
+        ratio = self.ratio
+        if ratio is None:
+            return "new"
+        return "regression" if ratio > self.threshold else "ok"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form."""
+        return {
+            "graph": self.graph,
+            "engine": self.engine,
+            "fingerprint": self.fingerprint,
+            "metric": self.metric,
+            "current": self.current,
+            "baseline": self.baseline,
+            "ratio": self.ratio,
+            "status": self.status,
+        }
+
+
+@dataclass
+class GateResult:
+    """Every check plus the overall verdict."""
+
+    checks: list[GateCheck]
+    threshold: float
+
+    @property
+    def regressions(self) -> list[GateCheck]:
+        """Checks that exceeded the threshold."""
+        return [c for c in self.checks if c.status == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed (new keys do not fail the gate)."""
+        return not self.regressions
+
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable verdict document."""
+        return {
+            "schema": GATE_SCHEMA,
+            "verdict": "ok" if self.ok else "regression",
+            "threshold": self.threshold,
+            "regressions": [
+                f"{c.graph}/{c.engine}/{c.metric}" for c in self.regressions
+            ],
+            "checks": [c.to_dict() for c in self.checks],
+        }
+
+    def format(self) -> str:
+        """Aligned table of every check plus the verdict line."""
+        rows = []
+        for c in self.checks:
+            rows.append(
+                (
+                    c.status,
+                    c.graph,
+                    c.engine,
+                    c.metric,
+                    f"{c.current * 1e3:.2f}",
+                    "-" if c.baseline is None else f"{c.baseline * 1e3:.2f}",
+                    "-" if c.ratio is None else f"{c.ratio:.2f}x",
+                )
+            )
+        table = format_table(
+            ("status", "graph", "engine", "metric", "now ms", "base ms", "ratio"),
+            rows,
+        )
+        verdict = (
+            f"verdict: {'ok' if self.ok else 'REGRESSION'} "
+            f"({len(self.regressions)} regressed check(s), "
+            f"threshold {self.threshold:g}x)"
+        )
+        return f"{table}\n{verdict}"
+
+
+def evaluate_gate(
+    current: list[TrajectoryEntry],
+    baseline: TrajectoryStore | list[TrajectoryEntry],
+    *,
+    threshold: float = 2.0,
+    metrics: tuple[str, ...] = DEFAULT_METRICS,
+    window: int = 5,
+) -> GateResult:
+    """Compare current entries against the baseline history.
+
+    For each current entry and each metric, the baseline value is the
+    minimum over the last ``window`` baseline entries sharing the same
+    ``(graph, engine, fingerprint)`` key.
+    """
+    if threshold <= 1.0:
+        raise ValueError("threshold must be > 1 (a ratio of allowed slowdown)")
+    history = baseline.load() if isinstance(baseline, TrajectoryStore) else baseline
+    by_key: dict[tuple[str, str, str], list[TrajectoryEntry]] = {}
+    for entry in history:
+        by_key.setdefault(entry.key, []).append(entry)
+    checks: list[GateCheck] = []
+    for entry in current:
+        recent = by_key.get(entry.key, [])[-window:]
+        for metric in metrics:
+            if metric not in entry.metrics:
+                continue
+            values = [e.metrics[metric] for e in recent if metric in e.metrics]
+            checks.append(
+                GateCheck(
+                    graph=entry.graph,
+                    engine=entry.engine,
+                    fingerprint=entry.fingerprint,
+                    metric=metric,
+                    current=entry.metrics[metric],
+                    baseline=min(values) if values else None,
+                    threshold=threshold,
+                )
+            )
+    return GateResult(checks=checks, threshold=threshold)
+
+
+def run_gate_entries(
+    entries: list[SuiteEntry] | None = None,
+    *,
+    engines: tuple[str, ...] = ("vectorized", "simulated"),
+    scale: float = GATE_SCALE,
+    repeats: int = GATE_REPEATS,
+    commit: str | None = None,
+    progress=None,
+) -> list[TrajectoryEntry]:
+    """Run the gate suite traced and return one entry per (graph, engine).
+
+    ``entries`` defaults to :func:`~repro.bench.suite.small_suite` (one
+    graph per generator family).  Each key runs ``repeats`` times and
+    keeps the run with the smallest traced total — minima are what the
+    baseline stores, so current and baseline stay comparable.
+    ``progress`` is an optional callable fed one line per finished key.
+    """
+    from ..bench.runner import suite_report  # runner pulls in solvers; keep lazy
+
+    if entries is None:
+        entries = small_suite()
+    if commit is None:
+        commit = current_commit()
+    out: list[TrajectoryEntry] = []
+    for entry in entries:
+        for engine in engines:
+            best: TrajectoryEntry | None = None
+            for _ in range(max(repeats, 1)):
+                report = suite_report(entry, engine=engine, scale=scale)
+                # The fingerprint derives from the report's config meta
+                # (engine, scale, thresholds), so identical gate setups
+                # land on identical keys across commits.
+                candidate = entry_from_report(
+                    report, graph=entry.name, engine=engine, commit=commit
+                )
+                if (
+                    best is None
+                    or candidate.metrics["total_seconds"]
+                    < best.metrics["total_seconds"]
+                ):
+                    best = candidate
+            assert best is not None
+            out.append(best)
+            if progress is not None:
+                progress(
+                    f"{entry.name} [{engine}] "
+                    f"{best.metrics['total_seconds'] * 1e3:.1f} ms "
+                    f"(opt {best.metrics['optimization_seconds'] * 1e3:.1f} ms)"
+                )
+    return out

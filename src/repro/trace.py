@@ -44,6 +44,7 @@ built-in engines: ``run``, ``batch``, ``level``, ``optimization``,
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any
@@ -64,6 +65,27 @@ __all__ = [
 
 #: Identifier (and version) of the JSON report schema this module writes.
 TRACE_SCHEMA = "repro.trace/1"
+
+
+def _is_nonfinite(value: Any) -> bool:
+    """True for float NaN/inf (including numpy float scalars)."""
+    return isinstance(value, float) and not math.isfinite(value)
+
+
+def _json_safe(value: Any) -> Any:
+    """Recursively replace non-finite floats with ``None``.
+
+    Counters carrying NaN/inf (a zero-second rate, an uninitialised
+    drift) would otherwise serialise as the JSON-invalid literals
+    ``NaN`` / ``Infinity``; strict parsers reject those documents.
+    """
+    if _is_nonfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
 
 
 @dataclass
@@ -104,12 +126,34 @@ class Span:
         return found
 
     def to_dict(self) -> dict[str, Any]:
-        """Plain-JSON form of this span subtree (see module schema)."""
+        """Plain-JSON form of this span subtree (see module schema).
+
+        Non-finite counters (NaN/inf) cannot be represented in strict
+        JSON and are *moved* out of ``counters`` into an
+        ``attributes["nonfinite_counters"]`` note (name → ``"nan"`` /
+        ``"inf"`` / ``"-inf"``), so the serialised report always passes
+        :func:`validate_report`; non-finite ``seconds`` become ``0.0``
+        with the same note under the ``"seconds"`` key.
+        """
+        counters: dict[str, float] = {}
+        nonfinite: dict[str, str] = {}
+        for name, value in self.counters.items():
+            if _is_nonfinite(value):
+                nonfinite[name] = repr(float(value))
+            else:
+                counters[name] = value
+        seconds = self.seconds
+        if _is_nonfinite(seconds):
+            nonfinite["seconds"] = repr(float(seconds))
+            seconds = 0.0
+        attributes = _json_safe(dict(self.attributes))
+        if nonfinite:
+            attributes["nonfinite_counters"] = nonfinite
         return {
             "name": self.name,
-            "seconds": self.seconds,
-            "attributes": dict(self.attributes),
-            "counters": dict(self.counters),
+            "seconds": seconds,
+            "attributes": attributes,
+            "counters": counters,
             "children": [c.to_dict() for c in self.children],
         }
 
@@ -372,17 +416,25 @@ class RunReport:
     spans: list[Span] = field(default_factory=list)
 
     def to_dict(self) -> dict[str, Any]:
-        """Plain-JSON form (see the module-level schema)."""
+        """Plain-JSON form (see the module-level schema).
+
+        ``meta`` / ``result`` values that are non-finite floats are
+        sanitised to ``None``; span counters are sanitised by
+        :meth:`Span.to_dict` — the returned dict always serialises as
+        strict JSON and passes :func:`validate_report`.
+        """
         return {
             "schema": TRACE_SCHEMA,
-            "meta": dict(self.meta),
-            "result": dict(self.result),
+            "meta": _json_safe(dict(self.meta)),
+            "result": _json_safe(dict(self.result)),
             "spans": [span.to_dict() for span in self.spans],
         }
 
     def to_json(self, *, indent: int | None = 2) -> str:
-        """The report as a JSON string."""
-        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+        """The report as a strict-JSON string (no NaN/Infinity literals)."""
+        return json.dumps(
+            self.to_dict(), indent=indent, sort_keys=False, allow_nan=False
+        )
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "RunReport":
@@ -514,8 +566,14 @@ def validate_report(data: dict[str, Any]) -> list[str]:
             return
         if not isinstance(span.get("name"), str):
             problems.append(f"{path}: span name must be a string")
-        if not isinstance(span.get("seconds"), (int, float)):
+        seconds = span.get("seconds")
+        if not isinstance(seconds, (int, float)):
             problems.append(f"{path}: span seconds must be a number")
+        elif _is_nonfinite(float(seconds)):
+            problems.append(
+                f"{path}: span seconds must be finite, got {seconds!r} "
+                "(serialise via Span.to_dict to sanitise)"
+            )
         if not isinstance(span.get("attributes"), dict):
             problems.append(f"{path}: span attributes must be an object")
         counters = span.get("counters")
@@ -526,6 +584,11 @@ def validate_report(data: dict[str, Any]) -> list[str]:
                 if not isinstance(value, (int, float)):
                     problems.append(
                         f"{path}: counter {name!r} must be numeric, got {value!r}"
+                    )
+                elif _is_nonfinite(float(value)):
+                    problems.append(
+                        f"{path}: counter {name!r} must be finite, got {value!r} "
+                        "(serialise via Span.to_dict to sanitise)"
                     )
         children = span.get("children")
         if not isinstance(children, list):

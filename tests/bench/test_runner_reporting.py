@@ -47,6 +47,28 @@ def test_table1_rows_subset():
     assert row.speedup > 0
     assert 0.8 < row.relative_modularity <= 1.1
     assert row.num_vertices > 0
+    # Rows carry the full solver results so benchmarks can emit traces.
+    assert row.gpu_result is not None
+    assert row.gpu_result.modularity == pytest.approx(row.gpu_modularity)
+    assert row.seq_result is not None
+    assert row.seq_result.modularity == pytest.approx(row.seq_modularity)
+
+
+def test_suite_report_is_traced_and_keyed():
+    from repro.bench.runner import SUITE_GPU_DEFAULTS, suite_report
+    from repro.bench.suite import suite_entry
+    from repro.trace import validate_report
+
+    report = suite_report(suite_entry("com-dblp"), scale=0.5)
+    assert validate_report(report.to_dict()) == []
+    meta = report.meta
+    assert meta["graph"] == "com-dblp"
+    assert meta["engine"] == "vectorized"
+    assert meta["scale"] == 0.5
+    for key, value in SUITE_GPU_DEFAULTS.items():
+        assert meta[key] == value
+    # Live spans, not the timings fallback: sweep children exist.
+    assert report.spans[0].find("sweep")
 
 
 def test_threshold_grid_shape_and_ordering():

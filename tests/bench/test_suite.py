@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.bench.suite import SUITE, SuiteEntry, load_suite_graph, small_suite, suite_names
+from repro.bench.suite import (
+    SUITE,
+    SuiteEntry,
+    load_suite_graph,
+    small_suite,
+    suite_entry,
+    suite_names,
+)
 from repro.graph.validation import validate
 
 
@@ -62,12 +69,36 @@ def test_load_cached():
 
 
 def test_deterministic_generation():
-    entry = next(e for e in SUITE if e.name == "cnr-2000")
+    entry = suite_entry("cnr-2000")
     assert entry.load() == entry.load()
 
 
+@pytest.mark.parametrize("entry", small_suite(), ids=lambda e: e.name)
+def test_deterministic_generation_every_family(entry: SuiteEntry):
+    """Seeded generation: repeated loads are bit-identical (gate keys
+    compare runs on *the same* graph, so this must hold per family)."""
+    assert entry.load(0.5) == entry.load(0.5)
+
+
 def test_scale_grows_graph():
-    entry = next(e for e in SUITE if e.name == "com-dblp")
+    entry = suite_entry("com-dblp")
     small = entry.load(1.0)
     large = entry.load(2.0)
     assert large.num_edges > small.num_edges
+
+
+@pytest.mark.parametrize("name", ["com-dblp", "italy_osm", "rgg_n_2_22_s0"])
+def test_scale_parameter_is_monotone(name: str):
+    """Edge counts grow strictly with the scale parameter."""
+    edges = [suite_entry(name).load(scale).num_edges
+             for scale in (0.25, 0.5, 1.0, 2.0)]
+    assert edges == sorted(edges)
+    assert len(set(edges)) == len(edges)
+
+
+def test_suite_entry_lookup():
+    entry = suite_entry("uk-2002")
+    assert entry.name == "uk-2002"
+    assert entry.family == "web"
+    with pytest.raises(KeyError, match="no-such-graph"):
+        suite_entry("no-such-graph")

@@ -1,0 +1,93 @@
+"""Fixtures for the trace-analytics tests: fabricated and real reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace import RunReport, Span
+
+
+def build_report(
+    *,
+    opt_seconds: float = 0.002,
+    agg_seconds: float = 0.001,
+    sweeps: int = 4,
+    levels: int = 1,
+    meta: dict | None = None,
+) -> RunReport:
+    """A hand-built single-run report with exactly known numbers.
+
+    Level 0 has 100 vertices / 250 edges, so with the defaults the
+    derived level-0 MTEPS is ``2*250*4 / 0.002 / 1e6 = 1.0`` exactly.
+    """
+    level_spans = []
+    for lv in range(levels):
+        opt = Span(
+            "optimization",
+            counters={"sweeps": sweeps, "moved": 10 * sweeps},
+            seconds=opt_seconds,
+            children=[
+                Span(
+                    "sweep",
+                    attributes={"sweep": i},
+                    counters={"moved": 10, "frontier_size": 50},
+                    seconds=opt_seconds / sweeps,
+                )
+                for i in range(sweeps)
+            ],
+        )
+        agg = Span(
+            "aggregation",
+            counters={"hash_probes": 1_000},
+            seconds=agg_seconds,
+        )
+        level_spans.append(
+            Span(
+                "level",
+                attributes={
+                    "level": lv,
+                    "num_vertices": 100 // (lv + 1),
+                    "num_edges": 250 // (lv + 1),
+                },
+                counters={"sweeps": sweeps, "modularity": 0.42},
+                seconds=opt_seconds + agg_seconds,
+                children=[opt, agg],
+            )
+        )
+    run = Span(
+        "run",
+        seconds=levels * (opt_seconds + agg_seconds) + 5e-4,
+        children=level_spans,
+    )
+    return RunReport(
+        meta=meta if meta is not None else {"kind": "run"},
+        result={"modularity": 0.42, "num_communities": 5, "num_levels": levels},
+        spans=[run],
+    )
+
+
+@pytest.fixture
+def make_report():
+    """The :func:`build_report` factory as a fixture."""
+    return build_report
+
+
+@pytest.fixture(scope="session")
+def karate_report() -> RunReport:
+    """One real traced vectorized run on the karate club."""
+    from repro.core.gpu_louvain import gpu_louvain
+    from repro.graph.generators import karate_club
+    from repro.trace import Tracer, report_from_result
+
+    graph = karate_club()
+    tracer = Tracer()
+    result = gpu_louvain(graph, tracer=tracer)
+    return report_from_result(
+        result,
+        tracer=tracer,
+        kind="run",
+        graph="karate",
+        engine="vectorized",
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+    )

@@ -1,0 +1,170 @@
+"""Span-path aggregation, derived metrics, flame view, trace loading."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    critical_path,
+    critical_path_spans,
+    flatten_report,
+    flatten_reports,
+    format_stream_aggregate,
+    level_metrics,
+    load_trace,
+    span_component,
+    stage_table,
+    stream_aggregate,
+)
+from repro.trace import RunReport, Span
+
+
+def test_span_component_uses_own_index_attribute():
+    assert span_component(Span("run")) == "run"
+    assert span_component(Span("level", attributes={"level": 2})) == "level[2]"
+    # A differently-named attribute is not an index.
+    assert span_component(Span("optimization", attributes={"level": 2})) == "optimization"
+    # Bools and non-ints never index.
+    assert span_component(Span("level", attributes={"level": True})) == "level"
+    assert span_component(Span("level", attributes={"level": "x"})) == "level"
+
+
+def test_flatten_report_paths_and_sums(make_report):
+    flat = flatten_report(make_report(levels=2))
+    assert "run" in flat
+    assert "run/level[0]/optimization" in flat
+    assert "run/level[1]/aggregation" in flat
+    assert "run/level[0]/optimization/sweep[3]" in flat
+    opt = flat["run/level[0]/optimization"]
+    assert opt.count == 1
+    assert opt.seconds == pytest.approx(0.002)
+    assert opt.counters["moved"] == 40
+
+
+def test_flatten_aggregates_equal_paths():
+    # Two sibling spans with the same component fold into one aggregate.
+    run = Span("run", children=[
+        Span("optimization", counters={"moved": 3}, seconds=0.1),
+        Span("optimization", counters={"moved": 4}, seconds=0.2),
+    ])
+    flat = flatten_report(RunReport(spans=[run]))
+    agg = flat["run/optimization"]
+    assert agg.count == 2
+    assert agg.seconds == pytest.approx(0.3)
+    assert agg.counters["moved"] == 7
+
+
+def test_flatten_reports_merges_across_reports(make_report):
+    flat = flatten_reports([make_report(), make_report()])
+    assert flat["run/level[0]/optimization"].count == 2
+    assert flat["run/level[0]/optimization"].seconds == pytest.approx(0.004)
+
+
+def test_level_metrics_derived_values(make_report):
+    (m,) = level_metrics(make_report())
+    assert m.level == 0
+    assert m.num_edges == 250
+    assert m.sweeps == 4
+    # 2E * sweeps / opt_seconds / 1e6 with the conftest numbers is exact.
+    assert m.mteps == pytest.approx(1.0)
+    assert m.moves_per_sweep == pytest.approx(10.0)
+    assert m.probe_mrate == pytest.approx(1_000 / 0.001 / 1e6)
+    assert m.frontier_fraction == pytest.approx(0.5)
+    assert m.optimization_fraction == pytest.approx(2 / 3)
+    assert m.total_seconds == pytest.approx(0.003)
+
+
+def test_stage_table_renders(make_report):
+    table = stage_table(make_report(levels=2))
+    assert "MTEPS" in table and "opt%" in table
+    assert len(table.splitlines()) == 4  # header + rule + two levels
+
+
+def test_critical_path_marks_heaviest_chain(make_report):
+    report = make_report(levels=2)
+    chain = critical_path_spans(report)
+    paths = [path for path, _ in chain]
+    assert paths[0] == "run"
+    # Both levels cost the same fabricated seconds; the chain follows one
+    # of them down to its heaviest stage (optimization) and then a sweep.
+    assert paths[1].startswith("run/level[")
+    assert paths[2].endswith("/optimization")
+    text = critical_path(report, max_depth=3)
+    starred = [line for line in text.splitlines() if line.endswith("*")]
+    assert len(starred) == 3  # one per rendered depth
+    assert "run" in starred[0]
+
+
+def test_critical_path_depth_prunes(make_report):
+    text = critical_path(make_report(), max_depth=2)
+    assert "optimization" not in text
+    assert "level[0]" in text
+
+
+def test_level_metrics_real_run(karate_report):
+    rows = level_metrics(karate_report)
+    assert rows
+    assert all(m.mteps >= 0 for m in rows)
+    assert sum(m.sweeps for m in rows) >= karate_report.result["num_levels"]
+
+
+def test_load_trace_single_report(tmp_path, karate_report):
+    path = tmp_path / "run.json"
+    path.write_text(karate_report.to_json())
+    (loaded,) = load_trace(path)
+    assert loaded.result["modularity"] == pytest.approx(
+        karate_report.result["modularity"]
+    )
+
+
+def test_load_trace_stream_container(tmp_path, make_report):
+    payload = {
+        "schema": "repro.trace/1",
+        "meta": {"kind": "stream"},
+        "initial": make_report().to_dict(),
+        "batches": [make_report(meta={"kind": "batch"}).to_dict()],
+    }
+    path = tmp_path / "stream.json"
+    path.write_text(json.dumps(payload))
+    reports = load_trace(path)
+    assert len(reports) == 2
+    assert reports[1].meta["kind"] == "batch"
+
+
+def test_load_trace_bench_container(tmp_path, make_report):
+    payload = {
+        "schema": "repro.trace/1",
+        "meta": {"kind": "bench"},
+        "reports": [make_report().to_dict() for _ in range(3)],
+    }
+    path = tmp_path / "bench.trace.json"
+    path.write_text(json.dumps(payload))
+    assert len(load_trace(path)) == 3
+
+
+def test_load_trace_rejects_unknown_shape(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"schema": "repro.trace/1", "what": []}')
+    with pytest.raises(ValueError, match="unrecognised"):
+        load_trace(path)
+
+
+def test_stream_aggregate_counts_batches_only(make_report):
+    batches = [
+        RunReport(
+            meta={"kind": "batch"},
+            result={"seconds": s, "frontier_size": f, "mode": mode},
+        )
+        for s, f, mode in [(0.01, 10, "delta"), (0.03, 30, "delta"), (0.02, 0, "full")]
+    ]
+    agg = stream_aggregate([make_report()] + batches)  # initial run skipped
+    assert agg["batches"] == 3
+    assert agg["median_seconds"] == pytest.approx(0.02)
+    assert agg["total_seconds"] == pytest.approx(0.06)
+    assert agg["total_frontier"] == 40
+    assert agg["peak_frontier"] == 30
+    assert agg["modes"] == {"delta": 2, "full": 1}
+    text = format_stream_aggregate(agg)
+    assert "3 batches" in text and "delta=2" in text

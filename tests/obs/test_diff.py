@@ -1,0 +1,109 @@
+"""Structural trace diff: statuses, thresholds, verdict document."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.obs import diff_reports
+from repro.trace import RunReport
+
+
+def _inflate_optimization(report: RunReport, factor: float) -> RunReport:
+    """A deep copy with every level-0 optimization span slowed down."""
+    slowed = copy.deepcopy(report)
+    for root in slowed.spans:
+        for level in root.find("level"):
+            if level.attributes.get("level") != 0:
+                continue
+            for child in level.children:
+                if child.name == "optimization":
+                    child.seconds *= factor
+    return slowed
+
+
+def test_self_diff_is_clean(karate_report):
+    diff = diff_reports(karate_report, karate_report)
+    assert diff.ok
+    assert diff.regressions == []
+    assert all(d.status == "ok" for d in diff.deltas)
+    assert diff.to_dict()["verdict"] == "ok"
+
+
+def test_inflated_span_flags_exactly_that_path(make_report):
+    report = make_report(levels=2)
+    diff = diff_reports(report, _inflate_optimization(report, 10.0))
+    assert not diff.ok
+    assert [d.path for d in diff.regressions] == ["run/level[0]/optimization"]
+    # The inflated child does not drag siblings or the untouched level in.
+    ok_paths = {d.path for d in diff.deltas if d.status == "ok"}
+    assert "run/level[0]/aggregation" in ok_paths
+    assert "run/level[1]/optimization" in ok_paths
+
+
+def test_inflated_span_on_real_trace(karate_report):
+    diff = diff_reports(karate_report, _inflate_optimization(karate_report, 10.0))
+    assert [d.path for d in diff.regressions] == ["run/level[0]/optimization"]
+
+
+def test_improvement_is_not_a_regression(make_report):
+    report = make_report()
+    faster = copy.deepcopy(report)
+    for span in faster.spans[0].find("optimization"):
+        span.seconds /= 10
+    diff = diff_reports(report, faster)
+    assert diff.ok
+    assert any(d.status == "improved" for d in diff.deltas)
+
+
+def test_min_seconds_floor_suppresses_micro_noise(make_report):
+    # 10x slower but only by 18 microseconds: under the 1e-4 s floor.
+    report = make_report(opt_seconds=2e-6, agg_seconds=1e-6)
+    diff = diff_reports(report, _inflate_optimization(report, 10.0))
+    assert diff.ok
+
+
+def test_added_and_removed_paths(make_report):
+    # threshold=2: the extra level nearly doubles "run" but must not flag.
+    diff = diff_reports(make_report(levels=1), make_report(levels=2), threshold=2.0)
+    added = {d.path for d in diff.deltas if d.status == "added"}
+    assert "run/level[1]/optimization" in added
+    assert diff.ok  # structural changes are reported, not failed
+
+    reverse = diff_reports(make_report(levels=2), make_report(levels=1), threshold=2.0)
+    removed = {d.path for d in reverse.deltas if d.status == "removed"}
+    assert "run/level[1]/aggregation" in removed
+
+
+def test_counter_deltas(make_report):
+    a = make_report()
+    b = make_report(sweeps=6)
+    diff = diff_reports(a, b, threshold=100.0)
+    (opt,) = [d for d in diff.deltas if d.path == "run/level[0]/optimization"]
+    assert opt.counter_deltas["sweeps"] == 2
+    assert opt.counter_deltas["moved"] == 20
+
+
+def test_threshold_must_exceed_one(make_report):
+    with pytest.raises(ValueError, match="threshold"):
+        diff_reports(make_report(), make_report(), threshold=1.0)
+
+
+def test_verdict_document_shape(make_report):
+    report = make_report()
+    diff = diff_reports(report, _inflate_optimization(report, 10.0))
+    doc = diff.to_dict()
+    assert doc["schema"] == "repro.trace-diff/1"
+    assert doc["verdict"] == "regression"
+    assert doc["regressions"] == ["run/level[0]/optimization"]
+    (path,) = [p for p in doc["paths"] if p["path"] == "run/level[0]/optimization"]
+    assert path["ratio"] == pytest.approx(10.0)
+    text = diff.format()
+    assert "REGRESSION" in text and "run/level[0]/optimization" in text
+
+
+def test_format_show_all_includes_ok_paths(make_report):
+    diff = diff_reports(make_report(), make_report())
+    assert "run/level[0]" not in diff.format()
+    assert "run/level[0]" in diff.format(show_all=True)

@@ -1,0 +1,131 @@
+"""The perf regression gate and the committed baseline it runs against."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.suite import small_suite, suite_entry
+from repro.obs import (
+    TrajectoryEntry,
+    TrajectoryStore,
+    evaluate_gate,
+    run_gate_entries,
+)
+
+BASELINE = Path(__file__).resolve().parents[2] / "benchmarks/results/BENCH_trajectory.json"
+
+
+def _entry(metric=0.010, graph="g", engine="vectorized", fp="abc", ts=0.0):
+    return TrajectoryEntry(
+        graph=graph,
+        engine=engine,
+        fingerprint=fp,
+        commit="deadbee",
+        timestamp=ts,
+        metrics={"total_seconds": metric * 2, "optimization_seconds": metric},
+    )
+
+
+def test_gate_passes_when_within_threshold():
+    baseline = [_entry(metric=0.010, ts=1.0)]
+    result = evaluate_gate([_entry(metric=0.015, ts=2.0)], baseline, threshold=2.0)
+    assert result.ok
+    assert {c.status for c in result.checks} == {"ok"}
+    assert result.to_dict()["verdict"] == "ok"
+
+
+def test_gate_fails_on_3x_slowdown():
+    baseline = [_entry(metric=0.010, ts=1.0)]
+    result = evaluate_gate([_entry(metric=0.030, ts=2.0)], baseline, threshold=2.0)
+    assert not result.ok
+    assert {f"{c.graph}/{c.engine}/{c.metric}" for c in result.regressions} == {
+        "g/vectorized/total_seconds",
+        "g/vectorized/optimization_seconds",
+    }
+    doc = result.to_dict()
+    assert doc["verdict"] == "regression"
+    assert "g/vectorized/optimization_seconds" in doc["regressions"]
+    assert "REGRESSION" in result.format()
+
+
+def test_gate_baseline_is_window_minimum():
+    baseline = [_entry(metric=m, ts=float(i)) for i, m in enumerate([0.008, 0.020, 0.024])]
+    current = [_entry(metric=0.025, ts=9.0)]
+    # The window minimum (0.008) is the bar: 0.025 is a >3x regression…
+    assert not evaluate_gate(current, baseline, threshold=2.0).ok
+    # …but a window of 2 forgets the old fast run and passes.
+    assert evaluate_gate(current, baseline, threshold=2.0, window=2).ok
+
+
+def test_gate_new_keys_never_fail():
+    result = evaluate_gate([_entry(graph="unseen")], [], threshold=2.0)
+    assert result.ok
+    assert {c.status for c in result.checks} == {"new"}
+    assert all(c.ratio is None for c in result.checks)
+
+
+def test_gate_mismatched_fingerprint_is_new():
+    baseline = [_entry(fp="abc", metric=0.001)]
+    result = evaluate_gate([_entry(fp="xyz", metric=1.0)], baseline)
+    assert result.ok
+    assert result.checks[0].status == "new"
+
+
+def test_gate_accepts_store(tmp_path):
+    store = TrajectoryStore(tmp_path / "traj.json")
+    store.append(_entry(metric=0.010))
+    assert not evaluate_gate([_entry(metric=0.050)], store).ok
+
+
+def test_gate_threshold_must_exceed_one():
+    with pytest.raises(ValueError, match="threshold"):
+        evaluate_gate([], [], threshold=1.0)
+
+
+def test_run_gate_entries_produces_keyed_minima():
+    lines: list[str] = []
+    entries = run_gate_entries(
+        [suite_entry("com-dblp")],
+        engines=("vectorized",),
+        scale=0.1,
+        repeats=2,
+        commit="cafe123",
+        progress=lines.append,
+    )
+    (entry,) = entries
+    assert entry.graph == "com-dblp"
+    assert entry.engine == "vectorized"
+    assert entry.commit == "cafe123"
+    assert entry.metrics["total_seconds"] > 0
+    assert len(lines) == 1 and "com-dblp" in lines[0]
+    # The same config lands on the same key on a rerun: gate keys are stable.
+    again = run_gate_entries(
+        [suite_entry("com-dblp")],
+        engines=("vectorized",),
+        scale=0.1,
+        repeats=1,
+        commit="cafe124",
+    )
+    assert again[0].key == entry.key
+
+
+# --------------------------------------------------------------------- #
+# The committed baseline (acceptance criteria)
+# --------------------------------------------------------------------- #
+def test_committed_baseline_exists_and_validates():
+    store = TrajectoryStore(BASELINE)
+    entries = store.load()
+    assert entries, f"{BASELINE} must ship with baseline entries"
+    covered = {(e.graph, e.engine) for e in entries}
+    for suite in small_suite():
+        for engine in ("vectorized", "simulated"):
+            assert (suite.name, engine) in covered, (suite.name, engine)
+
+
+def test_committed_baseline_gates_itself():
+    store = TrajectoryStore(BASELINE)
+    result = evaluate_gate(list(store.latest().values()), store, threshold=2.0)
+    assert result.ok, result.format()
+    assert result.checks, "baseline must produce comparable checks"

@@ -276,6 +276,9 @@ def test_stream_trace_container(karate_file, capsys, tmp_path):
     ) == 0
     out = capsys.readouterr().out
     assert "--- batch 1" in out
+    # The cross-batch aggregate footer (repro.obs.stream_aggregate).
+    assert "stream aggregate: 2 batches" in out
+    assert "frontier total" in out
     data = json.loads(trace_path.read_text())
     assert data["schema"] == TRACE_SCHEMA
     assert data["meta"]["kind"] == "stream"
@@ -285,3 +288,129 @@ def test_stream_trace_container(karate_file, capsys, tmp_path):
         assert validate_report(report) == []
         assert report["meta"]["kind"] == "batch"
         assert report["result"]["batch"] == i
+
+
+@pytest.fixture
+def karate_trace(karate_file, tmp_path, capsys):
+    """A traced detect run's JSON file path."""
+    trace_path = tmp_path / "trace.json"
+    assert main(["detect", karate_file, "--trace", str(trace_path)]) == 0
+    capsys.readouterr()
+    return str(trace_path)
+
+
+def test_trace_summary_verb(karate_trace, capsys):
+    assert main(["trace-summary", karate_trace]) == 0
+    out = capsys.readouterr().out
+    assert "MTEPS" in out  # stage table
+    assert "self" in out and "*" in out  # flame view with hot chain
+
+
+def test_trace_summary_json(karate_trace, capsys):
+    import json
+
+    assert main(["trace-summary", karate_trace, "--json"]) == 0
+    paths = {row["path"] for row in json.loads(capsys.readouterr().out)}
+    assert "run" in paths
+    assert "run/level[0]/optimization" in paths
+
+
+def test_trace_diff_verb_exit_codes(karate_trace, capsys, tmp_path):
+    import json
+
+    assert main(["trace-diff", karate_trace, karate_trace]) == 0
+    assert "verdict: ok" in capsys.readouterr().out
+
+    data = json.loads(open(karate_trace).read())
+
+    def find_opt(span):
+        if span["name"] == "optimization":
+            return span
+        for child in span["children"]:
+            found = find_opt(child)
+            if found:
+                return found
+
+    find_opt(data["spans"][0])["seconds"] *= 10
+    slow = tmp_path / "slow.json"
+    slow.write_text(json.dumps(data))
+    assert main(["trace-diff", karate_trace, str(slow), "--json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["verdict"] == "regression"
+    assert doc["regressions"] == ["run/level[0]/optimization"]
+
+
+def test_trajectory_verb(tmp_path, capsys):
+    from repro.obs import TrajectoryEntry, TrajectoryStore
+
+    store_path = tmp_path / "traj.json"
+    TrajectoryStore(store_path).append(
+        [
+            TrajectoryEntry(
+                graph="karate", engine="vectorized", fingerprint="abc",
+                commit="cafe123", timestamp=float(i),
+                metrics={"optimization_seconds": 0.01 * i},
+            )
+            for i in (1, 2)
+        ]
+    )
+    assert main(["trajectory", "--file", str(store_path), "--keys"]) == 0
+    assert "karate [vectorized] abc" in capsys.readouterr().out
+    assert main(
+        ["trajectory", "--file", str(store_path), "--graph", "karate", "--last", "2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "cafe123" in out and "2.00x" in out
+    assert main(["trajectory", "--file", str(tmp_path / "none.json")]) == 1
+    assert main(
+        ["trajectory", "--file", str(store_path), "--graph", "missing"]
+    ) == 1
+
+
+def test_bench_gate_verb_exit_codes(karate_trace, capsys, tmp_path):
+    import json
+
+    from repro.obs import TrajectoryStore, entry_from_report, load_trace
+
+    # Seed a baseline from the real trace, then gate the same trace: ok.
+    (report,) = load_trace(karate_trace)
+    store_path = tmp_path / "traj.json"
+    TrajectoryStore(store_path).append(entry_from_report(report, commit="base"))
+    assert main(
+        ["bench-gate", "--baseline", str(store_path), "--current", karate_trace]
+    ) == 0
+    assert "verdict: ok" in capsys.readouterr().out
+
+    # Inflate every span 3x: the gate must fail with exit code 1.
+    data = json.loads(open(karate_trace).read())
+
+    def inflate(span):
+        span["seconds"] *= 3
+        for child in span["children"]:
+            inflate(child)
+
+    for span in data["spans"]:
+        inflate(span)
+    slow = tmp_path / "slow.json"
+    slow.write_text(json.dumps(data))
+    assert main(
+        ["bench-gate", "--baseline", str(store_path), "--current", str(slow),
+         "--json"]
+    ) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["verdict"] == "regression"
+    # detect --trace records the graph as its file path.
+    assert any(r.endswith("/vectorized/total_seconds") for r in doc["regressions"])
+
+
+def test_bench_gate_append_extends_baseline(karate_trace, capsys, tmp_path):
+    from repro.obs import TrajectoryStore
+
+    store_path = tmp_path / "traj.json"
+    assert main(
+        ["bench-gate", "--baseline", str(store_path), "--current", karate_trace,
+         "--append"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "new" in out  # no history yet: every check is new, gate passes
+    assert len(TrajectoryStore(store_path).load()) == 1

@@ -142,6 +142,65 @@ def test_validate_report_flags_problems():
     assert any("'bad'" in p for p in problems)
 
 
+def test_nonfinite_counters_roundtrip_as_strict_json():
+    report = RunReport(
+        meta={"kind": "run", "seconds": float("inf")},
+        result={"modularity": float("nan"), "num_levels": 2},
+        spans=[
+            Span(
+                "run",
+                counters={"sweeps": 5, "max_q_drift": float("nan")},
+                children=[Span("level", counters={"modularity": float("-inf")})],
+            )
+        ],
+    )
+    # Strict JSON (json.dumps(allow_nan=False)) must not raise…
+    text = report.to_json()
+    assert "NaN" not in text and "Infinity" not in text
+    data = json.loads(text)
+    # …and the serialised form passes validation: bad counters were moved
+    # out of ``counters`` into an attribute note, finite ones survive.
+    assert validate_report(data) == []
+    run = data["spans"][0]
+    assert run["counters"] == {"sweeps": 5}
+    assert run["attributes"]["nonfinite_counters"] == {"max_q_drift": "nan"}
+    assert data["spans"][0]["children"][0]["attributes"]["nonfinite_counters"] == {
+        "modularity": "-inf"
+    }
+    assert data["meta"]["seconds"] is None
+    assert data["result"]["modularity"] is None
+    assert data["result"]["num_levels"] == 2
+    clone = RunReport.from_json(text)
+    assert clone.to_dict() == data
+
+
+def test_nonfinite_seconds_are_zeroed_and_noted():
+    span = Span("run", seconds=float("nan"))
+    data = span.to_dict()
+    assert data["seconds"] == 0.0
+    assert "seconds" in data["attributes"]["nonfinite_counters"]
+
+
+def test_validate_report_rejects_raw_nonfinite_values():
+    report = {
+        "schema": TRACE_SCHEMA,
+        "meta": {"kind": "run"},
+        "result": {},
+        "spans": [
+            {
+                "name": "run",
+                "seconds": float("inf"),
+                "attributes": {},
+                "counters": {"drift": float("nan")},
+                "children": [],
+            }
+        ],
+    }
+    problems = validate_report(report)
+    assert any("seconds must be finite" in p for p in problems)
+    assert any("'drift' must be finite" in p for p in problems)
+
+
 def test_summary_renders_missing_modularity_as_dash():
     report = RunReport(
         meta={"kind": "run"},
