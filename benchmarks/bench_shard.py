@@ -1,0 +1,241 @@
+"""Sharded-engine scaling on the suite's two largest graphs.
+
+Runs ``sharded_louvain`` over a worker sweep on the two largest suite
+entries (uk-2002 and nlpkkt200), checks every run against the
+single-process vectorized engine (the ISSUE gate: NMI >= 0.95 and |dQ|
+<= 1e-6 — sync mode is in fact bit-identical), and reports both the
+measured wall-clock and the **emulated-concurrency** wall-clock::
+
+    emulated = wall - workers_seconds_total + workers_seconds_critical
+
+i.e. the serial worker compute is replaced by the per-step critical
+path (the same convention :mod:`repro.parallel.multigpu` uses).  On a
+single-core container the measured wall cannot speed up — the emulated
+column is what an actually-parallel host pays for the worker phase.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_shard.py --workers 2,4 --scale 4
+
+exits non-zero if any run misses the NMI gate.  Under pytest
+(``pytest benchmarks/bench_shard.py``) a scaled-down sweep runs with the
+same gate.  Traced reports go to ``benchmarks/results/shard.trace.json``
+and the perf-trajectory store via ``emit_report(trajectory=True)``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+if "repro" not in sys.modules:  # standalone invocation without PYTHONPATH
+    try:
+        import repro  # noqa: F401
+    except ImportError:  # pragma: no cover - depends on caller's env
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.reporting import banner, format_table
+from repro.bench.suite import load_suite_graph
+from repro.core.gpu_louvain import gpu_louvain
+from repro.metrics.quality import normalized_mutual_information
+from repro.shard import ShardConfig, sharded_louvain
+from repro.trace import Tracer, report_from_result
+
+from _util import emit, emit_report
+
+#: The two largest Table-1 graphs (by paper edge count) in the suite.
+GRAPHS = ("uk-2002", "nlpkkt200")
+
+NMI_GATE = 0.95
+Q_GATE = 1e-6
+
+
+def _worker_seconds(tracer: Tracer) -> tuple[float, float]:
+    """(total, critical) worker seconds over every optimization span."""
+    total = critical = 0.0
+    for root in tracer.roots:
+        for level in root.find("level"):
+            for child in level.children:
+                if child.name == "optimization":
+                    total += child.counters.get("workers_seconds_total", 0.0)
+                    critical += child.counters.get("workers_seconds_critical", 0.0)
+    return total, critical
+
+
+def run_bench(
+    *,
+    workers: list[int],
+    scale: float,
+    partition: str = "hash",
+    pool: str = "inline",
+    mode: str = "sync",
+    repeat: int = 3,
+    graphs: tuple[str, ...] = GRAPHS,
+    progress=print,
+) -> dict:
+    """Run the sweep; returns rows, reports, and the gate verdict."""
+    sweep = sorted(set(workers) | {1})
+    rows = []
+    reports = []
+    ok = True
+    for name in graphs:
+        graph = load_suite_graph(name, scale)
+        t0 = time.perf_counter()
+        base = gpu_louvain(graph)
+        vec_wall = time.perf_counter() - t0
+        progress(
+            f"{name}: n={graph.num_vertices} E={graph.num_edges} "
+            f"vectorized {vec_wall * 1e3:.0f} ms"
+        )
+        baseline_wall = None
+        for count in sweep:
+            config = ShardConfig(
+                workers=count, partition=partition, pool=pool, mode=mode
+            )
+            # Best-of-``repeat``: wall time on a shared host is noisy and
+            # the minimum is the least contaminated observation.
+            best = None
+            for _ in range(max(1, repeat)):
+                attempt_tracer = Tracer()
+                t0 = time.perf_counter()
+                attempt = sharded_louvain(graph, shard=config, tracer=attempt_tracer)
+                attempt_wall = time.perf_counter() - t0
+                if best is None or attempt_wall < best[0]:
+                    best = (attempt_wall, attempt, attempt_tracer)
+            wall, result, tracer = best
+            total, critical = _worker_seconds(tracer)
+            emulated = wall - total + critical
+            nmi = normalized_mutual_information(base.membership, result.membership)
+            dq = result.modularity - base.modularity
+            if baseline_wall is None:
+                baseline_wall = wall
+            passed = nmi >= NMI_GATE and abs(dq) <= Q_GATE
+            ok = ok and passed
+            rows.append(
+                {
+                    "graph": name,
+                    "workers": count,
+                    "wall": wall,
+                    "emulated": emulated,
+                    "workers_total": total,
+                    "workers_critical": critical,
+                    "speedup": baseline_wall / emulated,
+                    "nmi": nmi,
+                    "dq": dq,
+                    "ok": passed,
+                }
+            )
+            reports.append(
+                report_from_result(
+                    result,
+                    tracer=tracer,
+                    graph=name,
+                    engine="sharded",
+                    workers=count,
+                    partition=partition,
+                    pool=pool,
+                    mode=mode,
+                    scale=scale,
+                    seconds=round(wall, 6),
+                )
+            )
+            progress(
+                f"  workers={count}: wall {wall * 1e3:7.0f} ms  "
+                f"emulated {emulated * 1e3:7.0f} ms  "
+                f"speedup {baseline_wall / emulated:4.2f}x  NMI {nmi:.4f}"
+            )
+    return {"rows": rows, "reports": reports, "ok": ok, "scale": scale}
+
+
+def format_results(outcome: dict) -> str:
+    table_rows = [
+        [
+            row["graph"],
+            row["workers"],
+            f"{row['wall'] * 1e3:.0f}",
+            f"{row['workers_total'] * 1e3:.0f}",
+            f"{row['workers_critical'] * 1e3:.0f}",
+            f"{row['emulated'] * 1e3:.0f}",
+            f"{row['speedup']:.2f}x",
+            f"{row['nmi']:.4f}",
+            f"{row['dq']:+.1e}",
+            "ok" if row["ok"] else "FAIL",
+        ]
+        for row in outcome["rows"]
+    ]
+    table = format_table(
+        [
+            "graph", "workers", "wall ms", "worker ms", "critical ms",
+            "emulated ms", "speedup", "NMI", "dQ", "gate",
+        ],
+        table_rows,
+    )
+    note = (
+        "speedup = wall(workers=1) / emulated(workers=N); emulated replaces\n"
+        "the serial worker compute with the per-step critical path (see\n"
+        "module docstring) — the measured wall column cannot parallelize on\n"
+        f"a single-core host.  gate: NMI >= {NMI_GATE} and |dQ| <= {Q_GATE:g}\n"
+        "vs the single-process vectorized engine."
+    )
+    return (
+        banner(f"Sharded engine scaling (scale {outcome['scale']:g})")
+        + "\n" + table + "\n\n" + note
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--workers", default="2,4",
+                        help="comma-separated worker counts (1 is always "
+                             "included as the baseline)")
+    parser.add_argument("--scale", type=float, default=4.0,
+                        help="suite-analog size multiplier (default 4)")
+    parser.add_argument("--partition", choices=["bfs", "hash"], default="hash")
+    parser.add_argument("--pool", choices=["fork", "spawn", "inline"],
+                        default="inline",
+                        help="inline executes the identical worker code "
+                             "path serially — the cleanest basis for the "
+                             "emulated-concurrency column")
+    parser.add_argument("--mode", choices=["sync", "color"], default="sync")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="runs per configuration; best (min wall) kept")
+    args = parser.parse_args(argv)
+    workers = [int(part) for part in args.workers.split(",") if part]
+    outcome = run_bench(
+        workers=workers,
+        scale=args.scale,
+        partition=args.partition,
+        pool=args.pool,
+        mode=args.mode,
+        repeat=args.repeat,
+    )
+    emit("shard", format_results(outcome))
+    emit_report("shard", outcome["reports"], trajectory=True,
+                meta={"scale": args.scale, "pool": args.pool})
+    if not outcome["ok"]:
+        print("FAIL: a sharded run missed the NMI/Q differential gate",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def test_shard_scaling(benchmark):
+    """Pytest entry: scaled-down sweep, same differential gate."""
+    outcome = benchmark.pedantic(
+        lambda: run_bench(workers=[2], scale=0.25, progress=lambda *_: None),
+        rounds=1,
+        iterations=1,
+    )
+    emit("shard", format_results(outcome))
+    emit_report("shard", outcome["reports"], trajectory=True,
+                meta={"scale": 0.25, "pool": "inline"})
+    assert outcome["ok"], "sharded run missed the NMI/Q differential gate"
+    for row in outcome["rows"]:
+        assert row["nmi"] >= NMI_GATE
+        assert abs(row["dq"]) <= Q_GATE
+
+
+if __name__ == "__main__":
+    sys.exit(main())

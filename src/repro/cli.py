@@ -20,6 +20,7 @@ Examples::
     python -m repro generate social -n 5000 -m 8 -o social.txt
     python -m repro info social.txt
     python -m repro detect social.txt --solver gpu -o communities.txt
+    python -m repro detect social.txt --engine sharded --workers 4
     python -m repro stream social.txt --updates batches.txt -o final.txt
     python -m repro stream social.txt --synthetic 200 --batches 5
     python -m repro suite --name road_usa -o road.txt
@@ -63,10 +64,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     detect.add_argument(
         "--engine",
-        choices=["vectorized", "simulated"],
+        choices=["vectorized", "simulated", "sharded"],
         default="vectorized",
-        help="gpu solver execution engine",
+        help="gpu solver execution engine (sharded = multi-process "
+             "workers over shared-memory CSR)",
     )
+    detect.add_argument("--workers", type=int, default=2,
+                        help="worker process count for --engine sharded")
+    detect.add_argument("--shard-partition", choices=["bfs", "hash"],
+                        default="bfs",
+                        help="vertex-to-shard assignment (sharded engine)")
+    detect.add_argument("--shard-mode", choices=["sync", "color"],
+                        default="sync",
+                        help="sharded protocol: sync = lockstep bucket "
+                             "scoring, bit-identical to vectorized; color = "
+                             "async interiors + colored boundary rounds")
+    detect.add_argument("--shard-pool", choices=["fork", "spawn", "inline"],
+                        default="fork",
+                        help="worker pool kind for --engine sharded")
     detect.add_argument("--threshold-bin", type=float, default=1e-2)
     detect.add_argument("--threshold-final", type=float, default=1e-6)
     detect.add_argument("--bin-vertex-limit", type=int, default=100_000)
@@ -269,21 +284,40 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         tracer = Tracer()
     start = time.perf_counter()
     if args.solver == "gpu":
-        from .core.gpu_louvain import gpu_louvain
-
         initial = None
         if args.warm_start:
             initial = _read_membership(args.warm_start, graph.num_vertices)
-        result = gpu_louvain(
-            graph,
-            engine=args.engine,
-            threshold_bin=args.threshold_bin,
-            threshold_final=args.threshold_final,
-            bin_vertex_limit=args.bin_vertex_limit,
-            resolution=args.resolution,
-            initial_communities=initial,
-            tracer=tracer,
-        )
+        if args.engine == "sharded":
+            from .shard import ShardConfig, sharded_louvain
+
+            result = sharded_louvain(
+                graph,
+                shard=ShardConfig(
+                    workers=args.workers,
+                    partition=args.shard_partition,
+                    mode=args.shard_mode,
+                    pool=args.shard_pool,
+                ),
+                threshold_bin=args.threshold_bin,
+                threshold_final=args.threshold_final,
+                bin_vertex_limit=args.bin_vertex_limit,
+                resolution=args.resolution,
+                initial_communities=initial,
+                tracer=tracer,
+            )
+        else:
+            from .core.gpu_louvain import gpu_louvain
+
+            result = gpu_louvain(
+                graph,
+                engine=args.engine,
+                threshold_bin=args.threshold_bin,
+                threshold_final=args.threshold_final,
+                bin_vertex_limit=args.bin_vertex_limit,
+                resolution=args.resolution,
+                initial_communities=initial,
+                tracer=tracer,
+            )
     elif args.solver == "seq":
         from .seq.louvain import louvain
 

@@ -309,7 +309,13 @@ class BucketPlan:
         pos, _ = gather_rows(indptr, rows)
         e = self.dst_edge_order[pos]
         old_c = self.dst_comm_snap[e]
-        labels = self.comm32 if self.dst_comm_snap.dtype == np.int32 else comm
+        # The snapshot may be int32 even without a bound comm32 mirror
+        # (the rebuild downcasts labels when the combined key is int32),
+        # so gate on the mirror actually existing, not the snapshot dtype.
+        if self.comm32 is not None and self.dst_comm_snap.dtype == np.int32:
+            labels = self.comm32
+        else:
+            labels = comm
         new_c = labels[self.dst[e]]
         changed = new_c != old_c
         if not changed.all():

@@ -102,24 +102,47 @@ class CSRGraph:
         """Structural degree of each vertex (row length; self-loop counts 1)."""
         return self._degrees
 
+    # The three O(V+E) derived quantities below are cached on first use:
+    # instances are immutable (algorithms build new graphs, never mutate),
+    # and the hot paths — compute_moves reads ``m`` per bucket, the sweep
+    # plans read ``weighted_degrees`` per level — would otherwise pay a
+    # full-edge reduction on every call.
+
     @property
     def vertex_of_edge(self) -> np.ndarray:
         """Source vertex id of each stored entry (the CSR row expansion)."""
-        return np.repeat(np.arange(self.num_vertices, dtype=np.int64), self._degrees)
+        cached = self.__dict__.get("_vertex_of_edge")
+        if cached is None:
+            cached = np.repeat(
+                np.arange(self.num_vertices, dtype=np.int64), self._degrees
+            )
+            object.__setattr__(self, "_vertex_of_edge", cached)
+        return cached
 
     @property
     def weighted_degrees(self) -> np.ndarray:
         """``k_i``: sum of row ``i``'s weights, self-loop counted once."""
-        if not self.weights.size:
-            return np.zeros(self.num_vertices, dtype=np.float64)
-        return np.bincount(
-            self.vertex_of_edge, weights=self.weights, minlength=self.num_vertices
-        )
+        cached = self.__dict__.get("_weighted_degrees")
+        if cached is None:
+            if not self.weights.size:
+                cached = np.zeros(self.num_vertices, dtype=np.float64)
+            else:
+                cached = np.bincount(
+                    self.vertex_of_edge,
+                    weights=self.weights,
+                    minlength=self.num_vertices,
+                )
+            object.__setattr__(self, "_weighted_degrees", cached)
+        return cached
 
     @property
     def total_weight(self) -> float:
         """``2m``: the sum of all stored entry weights (= sum of ``k_i``)."""
-        return float(self.weights.sum())
+        cached = self.__dict__.get("_total_weight")
+        if cached is None:
+            cached = float(self.weights.sum())
+            object.__setattr__(self, "_total_weight", cached)
+        return cached
 
     @property
     def m(self) -> float:

@@ -17,6 +17,7 @@ property the regression gate (:mod:`repro.obs.gate`) depends on.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import subprocess
@@ -24,6 +25,11 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
+
+try:  # POSIX only; Windows falls back to unlocked appends
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from ..trace import RunReport
 
@@ -218,10 +224,39 @@ class TrajectoryStore:
     The file is ``{"schema": "repro.bench-trajectory/1", "entries":
     [...]}``; :meth:`append` rewrites it atomically (temp file + rename)
     after extending the existing history, never truncating it.
+
+    Concurrency: the temp-file + rename makes readers immune to torn
+    writes, but the read→extend→replace cycle itself is not atomic — two
+    concurrent appenders could both read N entries and both write N+1,
+    silently losing one append (exactly what happens when sharded bench
+    workers and the coordinator report together).  :meth:`append`
+    therefore takes an exclusive ``fcntl`` lock on a sidecar
+    ``<file>.lock`` for the whole cycle, serialising writers while
+    keeping lock state out of the data file (a rename would drop locks
+    held on the file itself).
     """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
+
+    @property
+    def lock_path(self) -> Path:
+        """Sidecar lock file serialising concurrent appenders."""
+        return self.path.with_suffix(self.path.suffix + ".lock")
+
+    @contextlib.contextmanager
+    def _locked(self):
+        """Hold the exclusive append lock (no-op where flock is missing)."""
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.lock_path, "a") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
 
     def load(self) -> list[TrajectoryEntry]:
         """All entries, file order (chronological for an honest history)."""
@@ -236,19 +271,25 @@ class TrajectoryStore:
         return [TrajectoryEntry.from_dict(e) for e in data.get("entries", [])]
 
     def append(self, entries: list[TrajectoryEntry] | TrajectoryEntry) -> int:
-        """Append entries and persist; returns the new total count."""
+        """Append entries and persist; returns the new total count.
+
+        The read→extend→replace cycle runs under the exclusive sidecar
+        lock, so concurrent appenders serialise instead of losing
+        entries to a read-modify-write race.
+        """
         if isinstance(entries, TrajectoryEntry):
             entries = [entries]
-        history = self.load()
-        history.extend(entries)
-        payload = {
-            "schema": TRAJECTORY_SCHEMA,
-            "entries": [e.to_dict() for e in history],
-        }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-        tmp.write_text(json.dumps(payload, indent=2, allow_nan=False) + "\n")
-        tmp.replace(self.path)
+        with self._locked():
+            history = self.load()
+            history.extend(entries)
+            payload = {
+                "schema": TRAJECTORY_SCHEMA,
+                "entries": [e.to_dict() for e in history],
+            }
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+            tmp.write_text(json.dumps(payload, indent=2, allow_nan=False) + "\n")
+            tmp.replace(self.path)
         return len(history)
 
     def keys(self) -> list[tuple[str, str, str]]:

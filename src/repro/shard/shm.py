@@ -1,0 +1,161 @@
+"""Zero-copy shared-memory arrays for the sharded engine.
+
+The coordinator places each level's CSR arrays (``indptr`` / ``indices``
+/ ``weights``), the weighted-degree vector, the membership vector, and
+the shard plan into :class:`multiprocessing.shared_memory.SharedMemory`
+segments.  Workers attach by name and build ``np.ndarray`` views
+directly over the segment buffer — no pickling or copying of graph data
+crosses the process boundary; a task message carries only the
+:class:`ArraySpec` (name, dtype, shape) per array.
+
+Lifecycle rules (the part that actually bites):
+
+* The **coordinator** owns every segment: it creates, closes, and
+  unlinks them.  :class:`SharedArrays` is a context manager so a crashed
+  level still unlinks its segments.
+* **Workers** must attach without adopting ownership.  CPython's
+  ``resource_tracker`` registers every ``SharedMemory`` a process opens
+  and unlinks leaked segments at interpreter exit — correct for owners,
+  wrong for attachers: a worker exiting early would tear the segment out
+  from under the coordinator and its siblings.  ``attach_array`` therefore
+  unregisters the attachment from the tracker (the documented workaround
+  until the ``track=`` parameter arrives in Python 3.13).
+* A view into a segment keeps the mapping alive only while the
+  ``SharedMemory`` object lives; :class:`AttachedArray` bundles the two
+  so the array cannot dangle.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+__all__ = ["ArraySpec", "AttachedArray", "SharedArrays", "attach_array"]
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Everything a worker needs to rebuild a view: name, dtype, shape."""
+
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count * np.dtype(self.dtype).itemsize
+
+
+class AttachedArray:
+    """A worker-side view plus the segment handle keeping it mapped."""
+
+    def __init__(self, segment: shared_memory.SharedMemory, array: np.ndarray) -> None:
+        self._segment = segment
+        self.array = array
+
+    def close(self) -> None:
+        """Drop the view and unmap the segment (does not unlink)."""
+        self.array = None  # type: ignore[assignment]
+        self._segment.close()
+
+
+def attach_array(spec: ArraySpec) -> AttachedArray:
+    """Attach to an existing segment and view it as ``spec`` describes.
+
+    Registration with the ``resource_tracker`` is suppressed for the
+    attachment: the tracker is for owners, and under the fork context it
+    is *shared* with the coordinator, so an unregister-after-attach would
+    evict the owner's own registration (tracker KeyErrors at unlink) and
+    a plain attach would unlink the segment when the worker exits.
+    """
+    original_register = resource_tracker.register
+
+    def _no_shm_register(name: str, rtype: str) -> None:
+        if rtype != "shared_memory":  # pragma: no cover - shm only here
+            original_register(name, rtype)
+
+    resource_tracker.register = _no_shm_register
+    try:
+        segment = shared_memory.SharedMemory(name=spec.name)
+    finally:
+        resource_tracker.register = original_register
+    array = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf)
+    return AttachedArray(segment, array)
+
+
+class SharedArrays:
+    """Coordinator-owned named arrays backed by shared memory.
+
+    ``share(name, array)`` copies ``array`` into a fresh segment and
+    returns the writable view; ``spec(name)`` yields the pickled-to-task
+    descriptor; ``close()`` (or context-manager exit) unlinks everything.
+    """
+
+    def __init__(self, prefix: str = "repro-shard") -> None:
+        self._prefix = prefix
+        self._stack = ExitStack()
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._specs: dict[str, ArraySpec] = {}
+        self._views: dict[str, np.ndarray] = {}
+        self._counter = 0
+
+    def share(self, name: str, array: np.ndarray) -> np.ndarray:
+        """Copy ``array`` into shared memory; returns the shared view."""
+        if name in self._segments:
+            raise ValueError(f"array {name!r} already shared")
+        array = np.ascontiguousarray(array)
+        self._counter += 1
+        nbytes = max(int(array.nbytes), 1)  # zero-size segments are invalid
+        segment = shared_memory.SharedMemory(
+            create=True,
+            size=nbytes,
+            name=f"{self._prefix}-{name}-{id(self):x}-{self._counter}",
+        )
+        self._stack.callback(self._release, segment)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        self._segments[name] = segment
+        self._specs[name] = ArraySpec(
+            name=segment.name, dtype=array.dtype.str, shape=tuple(array.shape)
+        )
+        self._views[name] = view
+        return view
+
+    @staticmethod
+    def _release(segment: shared_memory.SharedMemory) -> None:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def view(self, name: str) -> np.ndarray:
+        """The coordinator's writable view of a shared array."""
+        return self._views[name]
+
+    def spec(self, name: str) -> ArraySpec:
+        """The attach descriptor for ``name`` (what tasks carry)."""
+        return self._specs[name]
+
+    def specs(self) -> dict[str, ArraySpec]:
+        """All attach descriptors, keyed by logical name."""
+        return dict(self._specs)
+
+    def close(self) -> None:
+        """Unlink every segment; views become invalid."""
+        self._views.clear()
+        self._segments.clear()
+        self._specs.clear()
+        self._stack.close()
+
+    def __enter__(self) -> "SharedArrays":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

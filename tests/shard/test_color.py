@@ -1,0 +1,122 @@
+"""Color-mode protocol: validated commits and the exact-Q round guard.
+
+The two-shard heavy-cut-edge construction (ISSUE satellite 3): a
+community ``c = {c1, c2}`` straddles the cut, and one interior spoke per
+shard (``u — c1``, ``w — c2``) is weighted so that *either* spoke
+joining ``c`` is a positive move, but *both* joining — which is exactly
+what two workers scoring against stale volumes propose in the same
+round — is net negative (the unaccounted ``-2 k_u k_w / (2m)^2`` cross
+term).  With validation on, the coordinator must drop one of the two
+moves and stay monotone; with validation off, the double-counted
+modularity slips through and the post-round exact-Q recompute must
+hard-fail with :class:`ReconciliationError`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import from_edges
+from repro.metrics.modularity import modularity
+from repro.shard import (
+    Q_GUARD_EPS,
+    ReconciliationError,
+    ShardConfig,
+    ShardPlan,
+    sharded_louvain,
+)
+
+# 0=c1  1=u  2=c2  3=w; self-loops on u/w inflate their degrees so the
+# cross term bites.  a sits in the window (V*K/M, V*K/M + K^2/(2M)).
+HEAVY_CUT = 9.0
+SPOKE = 54.0
+LOOP = 79.0
+
+
+def heavy_cut_graph():
+    return from_edges(
+        [0, 0, 2, 1, 3],
+        [2, 1, 3, 1, 3],
+        [HEAVY_CUT, SPOKE, SPOKE, LOOP, LOOP],
+    )
+
+
+def initial():
+    # c1 and c2 share a community; u and w are singletons
+    return np.array([0, 1, 0, 3], dtype=np.int64)
+
+
+def test_construction_is_the_intended_trap():
+    """Each join alone gains Q; both together lose it."""
+    graph = heavy_cut_graph()
+    plan = ShardPlan.build(graph, 2, method="bfs")
+    assert plan.parts.tolist() == [0, 0, 1, 1]  # cliques split at the cut
+    assert plan.boundary.tolist() == [True, False, True, False]
+
+    base = modularity(graph, initial())
+    one = initial()
+    one[1] = 0  # u joins c
+    both = one.copy()
+    both[3] = 0  # w joins c too
+    assert modularity(graph, one) > base
+    assert modularity(graph, both) < base
+
+
+def test_guard_raises_without_validation():
+    graph = heavy_cut_graph()
+    config = ShardConfig(
+        workers=2,
+        pool="inline",
+        mode="color",
+        shard_min_vertices=1,
+        polish=False,
+        validate_commits=False,
+    )
+    with pytest.raises(ReconciliationError, match="decreased modularity"):
+        sharded_louvain(graph, shard=config, initial_communities=initial())
+
+
+def test_guard_raises_with_real_fork_workers():
+    graph = heavy_cut_graph()
+    config = ShardConfig(
+        workers=2,
+        pool="fork",
+        mode="color",
+        shard_min_vertices=1,
+        polish=False,
+        validate_commits=False,
+    )
+    with pytest.raises(ReconciliationError):
+        sharded_louvain(graph, shard=config, initial_communities=initial())
+
+
+def test_validation_stays_monotone_on_the_trap():
+    graph = heavy_cut_graph()
+    config = ShardConfig(
+        workers=2, pool="inline", mode="color", shard_min_vertices=1, polish=False
+    )
+    result = sharded_louvain(graph, shard=config, initial_communities=initial())
+    assert result.modularity >= modularity(graph, initial()) - Q_GUARD_EPS
+    assert result.modularity == pytest.approx(
+        modularity(graph, result.membership), abs=1e-12
+    )
+
+
+@pytest.mark.parametrize("polish", [False, True])
+def test_color_mode_monotone_on_realistic_graphs(polish):
+    from repro.graph.generators import caveman, social_network
+
+    graphs = {
+        "social": social_network(500, 6, np.random.default_rng(3)),
+        "caveman": caveman(8, 10)[0],
+    }
+    for name, graph in graphs.items():
+        config = ShardConfig(
+            workers=2, pool="inline", mode="color",
+            shard_min_vertices=8, polish=polish,
+        )
+        result = sharded_louvain(graph, shard=config)
+        # monotone from the singleton partition (Q may start below 0)
+        assert result.modularity == pytest.approx(
+            modularity(graph, result.membership), abs=1e-9
+        ), name
+        assert result.modularity > 0.0, name

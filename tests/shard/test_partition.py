@@ -1,0 +1,126 @@
+"""Partition invariants for the sharded engine (ISSUE satellite 4).
+
+The whole correctness argument of the color protocol hangs on three
+structural facts pinned here: every vertex lives in exactly one shard,
+the boundary classification is symmetric, and interior vertices of
+different shards are never adjacent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import from_edges
+from repro.graph.generators import caveman, karate_club, road_grid, social_network
+from repro.shard import ShardPlan, bfs_partition, boundary_mask, hash_partition
+
+
+def graphs():
+    rng = np.random.default_rng(7)
+    caves, _ = caveman(6, 8)
+    return {
+        "karate": karate_club(),
+        "caveman": caves,
+        "road": road_grid(9, 9, rng=rng),
+        "social": social_network(300, 5, rng),
+        "two_edges": from_edges([0, 2], [1, 3]),
+    }
+
+
+@pytest.fixture(params=list(graphs()))
+def graph(request):
+    return graphs()[request.param]
+
+
+@pytest.mark.parametrize("method", ["bfs", "hash"])
+@pytest.mark.parametrize("num_shards", [1, 2, 3, 5])
+def test_every_vertex_in_exactly_one_shard(graph, method, num_shards):
+    plan = ShardPlan.build(graph, num_shards, method=method)
+    assert plan.parts.shape == (graph.num_vertices,)
+    assert plan.parts.min() >= 0
+    assert plan.parts.max() < num_shards
+    counted = sum(plan.shard_members(s).size for s in range(num_shards))
+    assert counted == graph.num_vertices
+    # shard_members sets are disjoint by construction of flatnonzero on
+    # an equality mask, but check the union anyway.
+    union = np.concatenate([plan.shard_members(s) for s in range(num_shards)])
+    assert np.array_equal(np.sort(union), np.arange(graph.num_vertices))
+
+
+@pytest.mark.parametrize("method", ["bfs", "hash"])
+def test_boundary_is_symmetric(graph, method):
+    plan = ShardPlan.build(graph, 3, method=method)
+    src = graph.vertex_of_edge
+    dst = graph.indices
+    cross = plan.parts[src] != plan.parts[dst]
+    # every endpoint of a cross edge is boundary, in both directions
+    assert plan.boundary[src[cross]].all()
+    assert plan.boundary[dst[cross]].all()
+    # and nothing else is: a boundary vertex must own a cross edge
+    touched = np.zeros(graph.num_vertices, dtype=bool)
+    touched[src[cross]] = True
+    touched[dst[cross]] = True
+    assert np.array_equal(plan.boundary, touched)
+
+
+@pytest.mark.parametrize("method", ["bfs", "hash"])
+def test_interiors_of_distinct_shards_never_adjacent(graph, method):
+    plan = ShardPlan.build(graph, 4, method=method)
+    src = graph.vertex_of_edge
+    dst = graph.indices
+    both_interior = plan.interior[src] & plan.interior[dst]
+    assert (plan.parts[src][both_interior] == plan.parts[dst][both_interior]).all()
+
+
+def test_more_shards_than_vertices():
+    graph = from_edges([0, 1], [1, 2])
+    for method in ("bfs", "hash"):
+        plan = ShardPlan.build(graph, 10, method=method)
+        assert plan.parts.shape == (3,)
+        assert plan.parts.min() >= 0 and plan.parts.max() < 10
+
+
+def test_disconnected_components_all_assigned():
+    # three disjoint edges, bfs must reseed across components
+    graph = from_edges([0, 2, 4], [1, 3, 5])
+    parts = bfs_partition(graph, 2)
+    assert (parts >= 0).all()
+    counts = np.bincount(parts, minlength=2)
+    assert counts.sum() == 6
+    assert counts.max() <= 3  # ceil(6/2) balance
+
+
+def test_bfs_blocks_are_balanced(graph):
+    parts = bfs_partition(graph, 3)
+    counts = np.bincount(parts, minlength=3)
+    target = -(-graph.num_vertices // 3)
+    # each closed block stops within one frontier of the target; the
+    # last shard absorbs the remainder
+    assert counts[:-1].max() <= target
+    assert counts.sum() == graph.num_vertices
+
+
+def test_hash_partition_deterministic_and_spread():
+    a = hash_partition(1000, 4)
+    b = hash_partition(1000, 4)
+    assert np.array_equal(a, b)
+    counts = np.bincount(a, minlength=4)
+    assert counts.min() > 150  # splitmix64 spreads ~uniformly
+
+
+def test_hash_partition_rejects_zero_shards():
+    with pytest.raises(ValueError):
+        hash_partition(10, 0)
+    graph = from_edges([0], [1])
+    with pytest.raises(ValueError):
+        bfs_partition(graph, 0)
+
+
+def test_boundary_mask_single_shard_is_empty(graph):
+    parts = np.zeros(graph.num_vertices, dtype=np.int64)
+    assert not boundary_mask(graph, parts).any()
+
+
+def test_interior_fraction(graph):
+    plan = ShardPlan.build(graph, 2, method="bfs")
+    expected = 1.0 - plan.boundary.mean()
+    assert plan.interior_fraction == pytest.approx(expected)

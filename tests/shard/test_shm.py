@@ -1,0 +1,104 @@
+"""Shared-memory array plumbing (ISSUE satellite 4).
+
+Pins the lifecycle rules of :mod:`repro.shard.shm`: views are
+bit-identical after a detach/reattach round trip (in-process and across
+a real fork), worker writes are visible to the coordinator, and the
+coordinator's teardown is the only unlink.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.shard import ArraySpec, SharedArrays, attach_array
+
+
+def test_spec_nbytes():
+    assert ArraySpec("x", "<i8", (3, 4)).nbytes == 96
+    assert ArraySpec("x", "<f8", ()).nbytes == 8
+
+
+def test_round_trip_bit_identical():
+    rng = np.random.default_rng(3)
+    arrays = {
+        "f": rng.standard_normal(257),
+        "i": rng.integers(-(2**40), 2**40, 100),
+        "b": rng.random(64) < 0.5,
+        "empty": np.empty(0, dtype=np.int64),
+    }
+    with SharedArrays(prefix="repro-test") as shared:
+        for name, array in arrays.items():
+            view = shared.share(name, array)
+            assert np.array_equal(view, array)
+        for name, array in arrays.items():
+            attached = attach_array(shared.spec(name))
+            assert attached.array.dtype == array.dtype
+            assert attached.array.shape == array.shape
+            assert np.array_equal(attached.array, array)
+            if array.size:
+                assert attached.array.tobytes() == array.tobytes()
+            attached.close()
+
+
+def test_coordinator_view_is_writable_and_shared():
+    with SharedArrays(prefix="repro-test") as shared:
+        view = shared.share("x", np.zeros(8))
+        attached = attach_array(shared.spec("x"))
+        view[3] = 42.0
+        assert attached.array[3] == 42.0  # same physical memory
+        attached.array[5] = -1.0
+        assert view[5] == -1.0
+        attached.close()
+
+
+def test_duplicate_name_rejected():
+    with SharedArrays(prefix="repro-test") as shared:
+        shared.share("x", np.zeros(4))
+        with pytest.raises(ValueError):
+            shared.share("x", np.zeros(4))
+
+
+def test_close_unlinks():
+    shared = SharedArrays(prefix="repro-test")
+    view = shared.share("x", np.arange(5))
+    spec = shared.spec("x")
+    assert np.array_equal(view, np.arange(5))
+    shared.close()
+    with pytest.raises(FileNotFoundError):
+        attach_array(spec)
+
+
+def _child_round_trip(spec, reply_spec):
+    attached = attach_array(spec)
+    reply = attach_array(reply_spec)
+    try:
+        # write back a transform so the parent can verify both that the
+        # child saw the exact bytes and that child writes are visible
+        reply.array[...] = attached.array * 2
+    finally:
+        attached.close()
+        reply.close()
+
+
+def test_fork_child_sees_and_mutates():
+    ctx = multiprocessing.get_context("fork")
+    payload = np.arange(1000, dtype=np.float64) ** 2
+    with SharedArrays(prefix="repro-test") as shared:
+        shared.share("payload", payload)
+        reply = shared.share("reply", np.zeros_like(payload))
+        payload_spec = shared.spec("payload")
+        proc = ctx.Process(
+            target=_child_round_trip,
+            args=(payload_spec, shared.spec("reply")),
+        )
+        proc.start()
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+        # the child's exit did not unlink the segments out from under us
+        # (attach suppresses resource_tracker adoption): both still live
+        assert np.array_equal(shared.view("payload"), payload)
+        assert np.array_equal(reply, payload * 2)
+    # after the context exits, the coordinator's unlink has happened
+    with pytest.raises(FileNotFoundError):
+        attach_array(payload_spec)
