@@ -1,0 +1,200 @@
+"""repro.serve: request throughput and the effect of batch coalescing.
+
+Starts an in-process :class:`~repro.serve.ReproServer` (real sockets,
+ephemeral port) twice — coalescing on and off — and drives one session
+with bursts of concurrent single-edge ``/batch`` requests at burst sizes
+``BURSTS``.  Each burst launches ``B`` client threads that each post
+``ROUNDS`` requests back-to-back, so with coalescing the server folds up
+to ``B`` queued requests into one incremental ``apply()`` while the
+previous apply is still running.
+
+Measured per (burst size, coalescing) cell, from client-side timing and
+the ``/v1/stats`` contract:
+
+* requests/second and client-observed p50 / p99 latency,
+* applies actually executed and the mean coalesce factor,
+* **per-edge apply cost** — ``batches.apply_seconds`` divided by
+  ``batches.edges_added`` (each request adds exactly one edge).
+
+Acceptance (the ISSUE's gate): at burst sizes >= ``GATE_BURST``,
+coalescing reduces the per-edge apply cost versus the same load with
+coalescing off.
+
+Writes ``benchmarks/results/bench_serve.{txt,json}``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from time import perf_counter
+
+import pytest
+
+from repro.bench.reporting import banner, format_table
+from repro.graph.generators import social_network
+from repro.serve import ReproServer, ServeClient, ServeConfig, SessionManager
+
+from _util import RESULTS_DIR, emit
+
+#: Concurrent clients per burst.
+BURSTS = (1, 4, 8, 16, 32)
+#: Requests each client posts back-to-back.
+ROUNDS = 6
+#: Session graph: social-network analog, heavy-tailed with communities.
+GRAPH_N, GRAPH_M = 3000, 6
+#: Burst sizes the coalescing gate applies to.
+GATE_BURST = 8
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+def _run_load(port: int, name: str, burst: int, n: int) -> dict:
+    """Post ``burst * ROUNDS`` single-edge adds from ``burst`` threads."""
+    latencies: list[float] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(burst)
+
+    def worker(wid: int) -> None:
+        client = ServeClient(port=port)
+        barrier.wait()
+        for j in range(ROUNDS):
+            u = (wid * 131 + j * 17) % n
+            v = (u + 1 + wid) % n
+            start = perf_counter()
+            client.batch(name, add=([u], [v], [1.0]))
+            with lock:
+                latencies.append(perf_counter() - start)
+        client.close()
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(burst)]
+    start = perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = perf_counter() - start
+    latencies.sort()
+    return {
+        "requests": burst * ROUNDS,
+        "wall_seconds": wall,
+        "rps": burst * ROUNDS / wall,
+        "p50_ms": _percentile(latencies, 0.50) * 1e3,
+        "p99_ms": _percentile(latencies, 0.99) * 1e3,
+    }
+
+
+def _measure(coalesce: bool, tmp_dir) -> list[dict]:
+    manager = SessionManager(
+        ServeConfig(snapshot_dir=tmp_dir / f"snaps_{coalesce}", coalesce=coalesce)
+    )
+    server = ReproServer(manager, port=0)
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=lambda: server.run(ready=lambda _: ready.set()), daemon=True
+    )
+    thread.start()
+    assert ready.wait(20), "server did not start"
+    rows = []
+    try:
+        control = ServeClient(port=server.port)
+        graph = social_network(GRAPH_N, GRAPH_M, rng=7)
+        u, v, w = graph.edge_list(unique=True)
+        for burst in BURSTS:
+            name = f"s{burst}"
+            control.create_session(
+                name,
+                edges={"u": u.tolist(), "v": v.tolist(), "w": w.tolist(),
+                       "num_vertices": graph.num_vertices},
+                config={"screening": "local", "frontier_scope": "endpoints"},
+            )
+            before = control.stats()["batches"]
+            load = _run_load(server.port, name, burst, graph.num_vertices)
+            after = control.stats()["batches"]
+            applies = after["applies"] - before["applies"]
+            edges = after["edges_added"] - before["edges_added"]
+            apply_seconds = after["apply_seconds"] - before["apply_seconds"]
+            rows.append({
+                "coalesce": coalesce,
+                "burst": burst,
+                **load,
+                "applies": applies,
+                "mean_coalesce": load["requests"] / max(applies, 1),
+                "apply_seconds": apply_seconds,
+                "per_edge_apply_ms": apply_seconds / max(edges, 1) * 1e3,
+            })
+            control.delete(name)
+        control.shutdown()
+    finally:
+        server.request_shutdown()
+        thread.join(10)
+    return rows
+
+
+@pytest.fixture(scope="module")
+def measurements(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("serve_bench")
+    return _measure(True, tmp) + _measure(False, tmp)
+
+
+def test_serve_throughput(measurements):
+    table_rows = [
+        (
+            "on" if row["coalesce"] else "off",
+            row["burst"],
+            row["requests"],
+            row["applies"],
+            f"{row['mean_coalesce']:.1f}",
+            row["rps"],
+            row["p50_ms"],
+            row["p99_ms"],
+            row["per_edge_apply_ms"],
+        )
+        for row in measurements
+    ]
+    text = "\n".join([
+        banner("repro.serve: burst coalescing throughput"),
+        f"session graph: social_network({GRAPH_N}, {GRAPH_M}); "
+        f"{ROUNDS} single-edge adds per client; bursts of "
+        f"{', '.join(map(str, BURSTS))} concurrent clients",
+        "",
+        format_table(
+            ("coalesce", "burst", "reqs", "applies", "reqs/apply",
+             "req/s", "p50 ms", "p99 ms", "apply ms/edge"),
+            table_rows,
+            floatfmt=".4g",
+        ),
+    ])
+    emit("bench_serve", text)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "benchmark": "bench_serve",
+        "gate_burst": GATE_BURST,
+        "rows": measurements,
+    }
+    (RESULTS_DIR / "bench_serve.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print(f"[json written to {RESULTS_DIR / 'bench_serve.json'}]")
+
+
+def test_coalescing_reduces_per_edge_apply_cost(measurements):
+    """The ISSUE's acceptance gate, at every burst size >= GATE_BURST."""
+    on = {r["burst"]: r for r in measurements if r["coalesce"]}
+    off = {r["burst"]: r for r in measurements if not r["coalesce"]}
+    for burst in BURSTS:
+        if burst < GATE_BURST:
+            continue
+        assert on[burst]["applies"] < off[burst]["applies"], burst
+        assert (
+            on[burst]["per_edge_apply_ms"] < off[burst]["per_edge_apply_ms"]
+        ), (
+            f"burst {burst}: coalescing on {on[burst]['per_edge_apply_ms']:.3f}"
+            f" ms/edge >= off {off[burst]['per_edge_apply_ms']:.3f} ms/edge"
+        )

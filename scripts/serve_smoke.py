@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Smoke test for ``python -m repro serve`` — the CI ``serve-smoke`` job.
+
+Spawns a real server subprocess on an ephemeral port, then drives the
+documented lifecycle over the wire with :class:`repro.serve.ServeClient`:
+
+1. create two named sessions (generated graphs, exact screening),
+2. stream interleaved edge batches into both,
+3. partition queries (community_of / members / top-k),
+4. RunReport retrieval with the config fingerprint,
+5. snapshot + evict, then a query that transparently restores,
+6. error-code checks (404 / 409 / 400 paths),
+7. delete, shutdown, and a clean subprocess exit.
+
+Exits 0 on success; any assertion or protocol error is fatal.  Run from
+the repository root: ``python scripts/serve_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.serve import ServeClient, ServeError  # noqa: E402
+
+
+def expect_error(code: str, fn) -> None:
+    try:
+        fn()
+    except ServeError as exc:
+        assert exc.code == code, f"expected {code}, got {exc.code}: {exc.message}"
+        print(f"  error path ok: {code} (HTTP {exc.status})")
+        return
+    raise AssertionError(f"expected ServeError {code}, got success")
+
+
+def main() -> int:
+    snapshot_dir = tempfile.mkdtemp(prefix="repro-serve-smoke-")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--snapshot-dir", snapshot_dir, "--max-sessions", "4"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+        cwd=REPO,
+    )
+    try:
+        line = proc.stdout.readline()
+        match = re.search(r"http://([\d.]+):(\d+)", line)
+        assert match, f"no listen line from server, got: {line!r}"
+        port = int(match.group(2))
+        print(f"server up on port {port}")
+
+        client = ServeClient(port=port)
+        assert client.health()
+
+        # 1. two sessions
+        left = client.create_session(
+            "left", generate={"family": "caveman", "n": 60, "m": 6},
+            config={"screening": "exact"},
+        )
+        right = client.create_session(
+            "right", generate={"family": "social", "n": 400, "m": 5, "seed": 3},
+            config={"screening": "local"},
+        )
+        assert left["num_vertices"] == 60
+        assert right["num_vertices"] == 400
+        print(f"sessions created: left Q={left['modularity']:.4f}, "
+              f"right Q={right['modularity']:.4f}")
+
+        # 2. interleaved batches
+        for i in range(3):
+            a = client.batch("left", add=([i], [30 + i], [1.0]))
+            b = client.batch("right", add=([i * 5], [i * 7 + 1]),
+                             remove=None)
+            assert a["batch"] == i + 1 and b["batch"] == i + 1
+            assert a["coalesced"] >= 1
+        print(f"streamed 3 batches each: left Q={a['modularity']:.4f}, "
+              f"right Q={b['modularity']:.4f}")
+
+        # 3. queries
+        community = client.community_of("left", 0)
+        members = client.members("left", community)
+        assert 0 in members
+        top = client.top("left", 3, by="size")
+        assert len(top) == 3 and top[0]["size"] >= top[-1]["size"]
+        volume_top = client.top("right", 2, by="volume")
+        assert len(volume_top) == 2
+        print(f"queries ok: v0 in community {community} "
+              f"({len(members)} members); top sizes "
+              f"{[t['size'] for t in top]}")
+
+        # 4. reports carry the config fingerprint
+        report = client.report("left", which="last")["report"]
+        assert report["result"]["batch"] == 3
+        fingerprint = report["meta"]["fingerprint"]
+        assert re.fullmatch(r"[0-9a-f]{12}", fingerprint)
+        print(f"report ok: batch 3, fingerprint {fingerprint}")
+
+        # 5. snapshot, evict, transparent restore
+        snapshot = client.snapshot("left")
+        assert Path(snapshot).exists()
+        before = [client.community_of("left", v) for v in range(60)]
+        client.evict("left")
+        rows = {r["name"]: r["resident"] for r in client.list_sessions()}
+        assert rows == {"left": False, "right": True}
+        after = [client.community_of("left", v) for v in range(60)]
+        assert before == after, "restore changed the partition"
+        stats = client.stats()
+        assert stats["sessions"]["restored"] == 1
+        assert stats["batches"]["requests"] == 6
+        print(f"snapshot/evict/restore ok: stats {stats['sessions']}")
+
+        # 6. error paths
+        expect_error("session_not_found", lambda: client.info("ghost"))
+        expect_error("session_exists",
+                     lambda: client.create_session(
+                         "left", generate={"family": "karate"}))
+        expect_error("invalid_name",
+                     lambda: client.create_session(
+                         "no/slashes", generate={"family": "karate"}))
+        expect_error("vertex_out_of_range",
+                     lambda: client.community_of("left", 10 ** 9))
+        expect_error("invalid_batch",
+                     lambda: client.batch("left", remove=([0], [59])))
+
+        # 7. delete and clean shutdown
+        client.delete("right")
+        assert [r["name"] for r in client.list_sessions()] == ["left"]
+        client.shutdown()
+        code = proc.wait(timeout=15)
+        assert code == 0, f"server exited {code}"
+        print("clean shutdown: exit 0")
+        print("SERVE SMOKE OK")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        rest = proc.stdout.read()
+        if rest.strip():
+            print("--- server output ---")
+            print(rest.strip())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ Sub-packages:
 * :mod:`repro.gpu`      — simulated GPU substrate
 * :mod:`repro.core`     — the paper's bucketed edge-parallel algorithm
 * :mod:`repro.stream`   — incremental Louvain over edge-batch updates
+* :mod:`repro.serve`    — multi-tenant detection-as-a-service HTTP server
 * :mod:`repro.parallel` — comparator parallel implementations
 * :mod:`repro.bench`    — the Table-1 analog suite and experiment runner
 * :mod:`repro.trace`    — structured tracing and JSON run reports

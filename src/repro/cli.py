@@ -7,6 +7,7 @@ Commands
 ``stream``    incremental detection over batches of edge updates
 ``generate``  synthesise a graph from one of the generator families
 ``suite``     list or materialise the Table-1 analog benchmark suite
+``serve``     multi-tenant detection-as-a-service HTTP server
 
 Trace analytics (:mod:`repro.obs`)
 ----------------------------------
@@ -24,6 +25,7 @@ Examples::
     python -m repro stream social.txt --updates batches.txt -o final.txt
     python -m repro stream social.txt --synthetic 200 --batches 5
     python -m repro suite --name road_usa -o road.txt
+    python -m repro serve --port 8077 --max-sessions 8
     python -m repro detect social.txt --trace run.json
     python -m repro trace-summary run.json
     python -m repro trace-diff baseline.json candidate.json --threshold 1.5
@@ -169,6 +171,25 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--name", help="materialise one entry's analog graph")
     suite.add_argument("--scale", type=float, default=1.0)
     suite.add_argument("-o", "--output", help="output path (with --name)")
+
+    serve = sub.add_parser(
+        "serve", help="multi-tenant detection-as-a-service HTTP server"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8077,
+                       help="bind port; 0 picks an ephemeral port (default 8077)")
+    serve.add_argument("--max-sessions", type=int, default=8,
+                       help="resident-session LRU cap; 0 disables (default 8)")
+    serve.add_argument("--max-bytes", type=int, default=None,
+                       help="resident-memory budget in bytes (default: none)")
+    serve.add_argument("--snapshot-dir", default="sessions",
+                       help="directory for session snapshots (default ./sessions)")
+    serve.add_argument("--no-coalesce", action="store_true",
+                       help="apply every batch request individually instead of "
+                            "folding queued bursts into one apply")
+    serve.add_argument("--no-trace", action="store_true",
+                       help="do not attach tracers (disables /report retrieval)")
 
     summary = sub.add_parser(
         "trace-summary", help="analyze a repro.trace/1 JSON file"
@@ -629,6 +650,37 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from .serve import ReproServer, ServeConfig, SessionManager
+
+    manager = SessionManager(
+        ServeConfig(
+            max_sessions=args.max_sessions,
+            max_bytes=args.max_bytes,
+            snapshot_dir=args.snapshot_dir,
+            trace=not args.no_trace,
+            coalesce=not args.no_coalesce,
+        )
+    )
+    server = ReproServer(
+        manager, host=args.host, port=args.port,
+        coalesce=not args.no_coalesce,
+    )
+    signal.signal(signal.SIGTERM, lambda *_: server.request_shutdown())
+
+    def ready(srv: ReproServer) -> None:
+        print(f"repro.serve listening on http://{srv.host}:{srv.port}", flush=True)
+        print(f"sessions: max {args.max_sessions or 'unbounded'} resident, "
+              f"snapshots in {args.snapshot_dir}/, "
+              f"coalescing {'off' if args.no_coalesce else 'on'}", flush=True)
+
+    server.run(ready=ready)
+    print("repro.serve stopped", flush=True)
+    return 0
+
+
 def _cmd_trace_summary(args: argparse.Namespace) -> int:
     from .obs import (
         critical_path,
@@ -783,6 +835,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_generate(args)
     if args.command == "suite":
         return _cmd_suite(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "trace-summary":
         return _cmd_trace_summary(args)
     if args.command == "trace-diff":

@@ -1,0 +1,43 @@
+"""repro.serve — multi-tenant detection-as-a-service session server.
+
+The service layer of the reproduction: one process hosts many named
+:class:`~repro.stream.StreamSession` sessions behind a small
+JSON-over-HTTP API (stdlib only — asyncio + http.client).  Pieces, each
+usable on its own:
+
+* :class:`SessionManager` / :class:`ServeConfig` — named-session
+  ownership, LRU eviction under a resident budget, snapshot/restore
+  (:func:`snapshot_session` / :func:`restore_session`);
+* :class:`BatchCoalescer` — folds a burst of edge batches into one net
+  batch with ``apply_edge_batch`` semantics;
+* :class:`ReproServer` — the asyncio HTTP server with per-session
+  request queues and burst coalescing;
+* :class:`ServeClient` — the blocking stdlib client;
+* :class:`ServeError` — protocol errors with machine-readable codes.
+
+Start a server with ``python -m repro serve``; the wire protocol is
+documented in ``docs/API.md``.
+"""
+
+from .client import ServeClient
+from .coalesce import BatchCoalescer
+from .manager import ServeConfig, SessionManager, session_nbytes
+from .protocol import ERROR_STATUS, PROTOCOL_VERSION, ServeError
+from .server import ReproServer
+from .snapshot import SNAPSHOT_SCHEMA, restore_session, snapshot_paths, snapshot_session
+
+__all__ = [
+    "BatchCoalescer",
+    "ERROR_STATUS",
+    "PROTOCOL_VERSION",
+    "ReproServer",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "SessionManager",
+    "SNAPSHOT_SCHEMA",
+    "restore_session",
+    "session_nbytes",
+    "snapshot_paths",
+    "snapshot_session",
+]

@@ -1,0 +1,201 @@
+"""A minimal blocking client for the ``repro.serve`` HTTP API.
+
+Stdlib only (:mod:`http.client`), one persistent keep-alive connection,
+JSON in / JSON out.  Protocol errors surface as
+:class:`~repro.serve.protocol.ServeError` carrying the server's
+machine-readable code — callers switch on ``exc.code``, never on
+message text.  Used by the tests, the smoke driver
+(``scripts/serve_smoke.py``) and ``benchmarks/bench_serve.py``; also a
+reasonable starting point for real clients (see ``docs/API.md``).
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Any
+from urllib.parse import urlencode
+
+from .protocol import PROTOCOL_VERSION, ServeError
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Talks to one :class:`~repro.serve.server.ReproServer`.
+
+    Not thread-safe (one underlying connection); create one client per
+    thread.  Usable as a context manager.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8077, *,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: HTTPConnection | None = None
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def _connection(self) -> HTTPConnection:
+        if self._conn is None:
+            self._conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> ServeClient:
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: dict[str, Any] | None = None,
+        params: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """One round-trip under ``/v1``; raises :class:`ServeError` on errors.
+
+        Retries once on a dropped connection (the server may have closed
+        an idle keep-alive socket between requests).
+        """
+        target = f"/{PROTOCOL_VERSION}{path}"
+        if params:
+            target += "?" + urlencode(params)
+        payload = json.dumps(body).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, target, body=payload, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except (ConnectionError, OSError):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            decoded = json.loads(data) if data else {}
+        except json.JSONDecodeError as exc:
+            raise ServeError(
+                "server_error", f"non-JSON response ({response.status}): {data[:200]!r}"
+            ) from exc
+        if response.status >= 400 or "error" in decoded:
+            error = decoded.get("error", {})
+            raise ServeError(
+                error.get("code", "server_error"),
+                error.get("message", f"HTTP {response.status}"),
+            )
+        return decoded
+
+    # ------------------------------------------------------------------ #
+    # Session lifecycle
+    # ------------------------------------------------------------------ #
+    def create_session(
+        self,
+        name: str,
+        *,
+        edges: dict[str, Any] | None = None,
+        path: str | None = None,
+        generate: dict[str, Any] | None = None,
+        config: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Create a session from exactly one graph source; returns its info."""
+        body: dict[str, Any] = {"name": name}
+        if edges is not None:
+            body["edges"] = edges
+        if path is not None:
+            body["path"] = path
+        if generate is not None:
+            body["generate"] = generate
+        if config is not None:
+            body["config"] = config
+        return self.request("POST", "/sessions", body=body)
+
+    def list_sessions(self) -> list[dict[str, Any]]:
+        return self.request("GET", "/sessions")["sessions"]
+
+    def info(self, name: str) -> dict[str, Any]:
+        return self.request("GET", f"/sessions/{name}")
+
+    def snapshot(self, name: str) -> str:
+        return self.request("POST", f"/sessions/{name}/snapshot")["snapshot"]
+
+    def evict(self, name: str) -> str:
+        return self.request("POST", f"/sessions/{name}/evict")["snapshot"]
+
+    def delete(self, name: str) -> None:
+        self.request("DELETE", f"/sessions/{name}")
+
+    # ------------------------------------------------------------------ #
+    # Mutation and queries
+    # ------------------------------------------------------------------ #
+    def batch(
+        self,
+        name: str,
+        *,
+        add: tuple | list | None = None,
+        remove: tuple | list | None = None,
+    ) -> dict[str, Any]:
+        """Apply an edge batch; ``add=(u, v[, w])``, ``remove=(u, v)``.
+
+        Blocks until the (possibly coalesced) apply finishes; the result
+        payload carries the apply's ``batch`` id and the ``coalesced``
+        request count.
+        """
+        body: dict[str, Any] = {}
+        if add is not None:
+            u, v, *rest = add
+            body["add"] = {
+                "u": [int(x) for x in u],
+                "v": [int(x) for x in v],
+                "w": [float(x) for x in rest[0]] if rest and rest[0] is not None
+                else None,
+            }
+        if remove is not None:
+            u, v = remove
+            body["remove"] = {"u": [int(x) for x in u], "v": [int(x) for x in v]}
+        return self.request("POST", f"/sessions/{name}/batch", body=body)
+
+    def community_of(self, name: str, vertex: int) -> int:
+        return self.request(
+            "GET", f"/sessions/{name}/community", params={"vertex": vertex}
+        )["community"]
+
+    def members(self, name: str, community: int) -> list[int]:
+        return self.request(
+            "GET", f"/sessions/{name}/members", params={"community": community}
+        )["members"]
+
+    def top(self, name: str, k: int = 10, *, by: str = "size") -> list[dict[str, Any]]:
+        return self.request(
+            "GET", f"/sessions/{name}/top", params={"k": k, "by": by}
+        )["communities"]
+
+    def report(self, name: str, *, which: str = "last") -> dict[str, Any]:
+        """A session's RunReport(s): ``which`` is last, initial or all."""
+        return self.request(
+            "GET", f"/sessions/{name}/report", params={"which": which}
+        )
+
+    # ------------------------------------------------------------------ #
+    # Server-level
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, Any]:
+        return self.request("GET", "/stats")
+
+    def health(self) -> bool:
+        return bool(self.request("GET", "/health").get("ok"))
+
+    def shutdown(self) -> None:
+        self.request("POST", "/shutdown")
+        self.close()

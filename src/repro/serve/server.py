@@ -1,0 +1,625 @@
+"""The ``repro.serve`` HTTP server: asyncio, stdlib-only, multi-tenant.
+
+One process serves many named :class:`~repro.stream.StreamSession`
+sessions (owned by a :class:`~repro.serve.manager.SessionManager`) over
+a small JSON-over-HTTP/1.1 protocol (:mod:`repro.serve.protocol`,
+documented in ``docs/API.md``).  The design follows the actor/message
+shape of the exemplars: the event loop is the single owner of all
+manager state, and each session has
+
+* a **request queue** — ``/batch`` requests enqueue and wait on a
+  future;
+* a **worker task** — drains the queue, folds everything pending into
+  one net batch (:class:`~repro.serve.coalesce.BatchCoalescer`) and runs
+  a single ``session.apply()`` in a thread-pool executor, so the loop
+  keeps accepting (and coalescing) requests while NumPy crunches;
+* an **asyncio lock** — serialises the apply against partition queries,
+  snapshot, evict and delete, so no route ever observes a torn session.
+
+The session is *pinned* in the manager for the duration of the apply,
+which keeps the LRU budget enforcement from snapshotting a mid-batch
+state.  Bursts therefore cost one incremental re-clustering instead of
+one per request — the throughput lever ``benchmarks/bench_serve.py``
+measures — while each folded request still gets its own response (with
+the shared apply's ``batch`` id and the ``coalesced`` count).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from time import perf_counter, time
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from ..stream import StreamConfig
+from .coalesce import BatchCoalescer
+from .manager import SessionManager
+from .protocol import (
+    PROTOCOL_VERSION,
+    ServeError,
+    decode_batch,
+    decode_graph_spec,
+    error_body,
+    result_payload,
+)
+
+__all__ = ["ReproServer", "ServerStats"]
+
+_PHRASES = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Soft cap on members returned by one /members call.
+MAX_MEMBERS = 100_000
+
+
+class ServerStats:
+    """Mutable counters behind the ``/v1/stats`` contract."""
+
+    def __init__(self) -> None:
+        self.started = time()
+        self.requests = 0
+        self.errors = 0
+        self.batch_requests = 0
+        self.applies = 0
+        self.coalesced_requests = 0
+        self.max_coalesce = 0
+        self.apply_seconds = 0.0
+        self.edges_added = 0
+        self.edges_removed = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "uptime_seconds": time() - self.started,
+            "requests": self.requests,
+            "errors": self.errors,
+            "batches": {
+                "requests": self.batch_requests,
+                "applies": self.applies,
+                "coalesced_requests": self.coalesced_requests,
+                "max_coalesce": self.max_coalesce,
+                "apply_seconds": self.apply_seconds,
+                "edges_added": self.edges_added,
+                "edges_removed": self.edges_removed,
+            },
+        }
+
+
+class _BatchRequest:
+    """One queued /batch request waiting on its apply."""
+
+    __slots__ = ("add", "remove", "future")
+
+    def __init__(self, add, remove, future: asyncio.Future) -> None:
+        self.add = add
+        self.remove = remove
+        self.future = future
+
+
+class ReproServer:
+    """Serves a :class:`SessionManager` over JSON/HTTP (asyncio, stdlib).
+
+    Parameters
+    ----------
+    manager:
+        The session owner.  All its state is touched from the event
+        loop only; the CPU-heavy ``apply`` runs in the default executor
+        under a per-session lock + manager pin.
+    host / port:
+        Bind address; port ``0`` picks an ephemeral port (read
+        :attr:`port` after :meth:`start`).
+    coalesce:
+        Merge queued bursts into one apply per session.  Defaults to
+        the manager's :attr:`~repro.serve.manager.ServeConfig.coalesce`.
+    """
+
+    def __init__(
+        self,
+        manager: SessionManager,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8077,
+        coalesce: bool | None = None,
+    ) -> None:
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self.coalesce = manager.config.coalesce if coalesce is None else coalesce
+        self.stats = ServerStats()
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stopped: asyncio.Event | None = None
+        self._stopping = False
+        self._locks: dict[str, asyncio.Lock] = {}
+        self._queues: dict[str, asyncio.Queue] = {}
+        self._workers: dict[str, asyncio.Task] = {}
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bind and start accepting; resolves :attr:`port` when 0."""
+        self._loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_stopped(self) -> None:
+        """Serve until :meth:`request_shutdown` (or POST /v1/shutdown)."""
+        if self._server is None:
+            await self.start()
+        assert self._stopped is not None
+        await self._stopped.wait()
+        await self._cleanup()
+
+    def run(self, *, ready=None) -> None:
+        """Blocking entry point (the CLI): serve until shut down.
+
+        ``ready`` is called with the server once the socket is bound —
+        used by tests and the smoke driver to learn the ephemeral port.
+        """
+
+        async def _main() -> None:
+            await self.start()
+            if ready is not None:
+                ready(self)
+            await self.serve_until_stopped()
+
+        try:
+            asyncio.run(_main())
+        except KeyboardInterrupt:
+            pass
+
+    def request_shutdown(self) -> None:
+        """Stop serving (thread-safe; idempotent)."""
+        self._stopping = True
+        loop, stopped = self._loop, self._stopped
+        if loop is not None and stopped is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(stopped.set)
+
+    async def _cleanup(self) -> None:
+        """Graceful shutdown: drain workers, snapshot, close sockets."""
+        self._stopping = True
+        for task in self._workers.values():
+            task.cancel()
+        for queue in self._queues.values():
+            while not queue.empty():
+                request = queue.get_nowait()
+                if not request.future.done():
+                    request.future.set_exception(
+                        ServeError("shutting_down", "server is shutting down")
+                    )
+        # Durability: every resident session survives a clean shutdown.
+        for name in list(self.manager.sessions):
+            try:
+                self.manager.snapshot(name)
+            except Exception:
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._writers):
+            writer.close()
+
+    # ------------------------------------------------------------------ #
+    # HTTP plumbing
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while not self._stopping:
+                try:
+                    request_line = await reader.readline()
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                if not request_line:
+                    break
+                parts = request_line.decode("latin-1").strip().split()
+                if len(parts) != 3:
+                    await self._respond(writer, 400, error_body(
+                        "bad_request", "malformed request line"), close=True)
+                    break
+                method, target, _version = parts
+                headers: dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    key, _, value = line.decode("latin-1").partition(":")
+                    headers[key.strip().lower()] = value.strip()
+                try:
+                    length = int(headers.get("content-length", "0") or "0")
+                except ValueError:
+                    length = 0
+                body = await reader.readexactly(length) if length else b""
+                keep_alive = headers.get("connection", "").lower() != "close"
+                status, payload = await self._dispatch(method.upper(), target, body)
+                await self._respond(writer, status, payload, close=not keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict[str, Any],
+        *,
+        close: bool,
+    ) -> None:
+        data = json.dumps(payload, allow_nan=False).encode()
+        head = (
+            f"HTTP/1.1 {status} {_PHRASES.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + data)
+        try:
+            await writer.drain()
+        except ConnectionError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        self.stats.requests += 1
+        try:
+            payload = await self._route(method, target, body)
+            return 200, payload
+        except ServeError as exc:
+            self.stats.errors += 1
+            return exc.status, error_body(exc.code, exc.message)
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            self.stats.errors += 1
+            return 500, error_body(
+                "server_error", f"{type(exc).__name__}: {exc}"
+            )
+
+    def _json_body(self, body: bytes) -> dict[str, Any]:
+        if not body:
+            return {}
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ServeError("bad_request", f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServeError("bad_request", "request body must be a JSON object")
+        return payload
+
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> dict[str, Any]:
+        split = urlsplit(target)
+        query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+        parts = [p for p in split.path.split("/") if p]
+        if not parts or parts[0] != PROTOCOL_VERSION:
+            raise ServeError("not_found", f"unknown route {split.path!r}")
+        parts = parts[1:]
+
+        if parts == ["health"]:
+            return {"ok": True}
+        if parts == ["stats"]:
+            self._expect(method, "GET")
+            return self._stats_payload()
+        if parts == ["shutdown"]:
+            self._expect(method, "POST")
+            assert self._loop is not None
+            self._loop.call_later(0.05, self.request_shutdown)
+            return {"ok": True, "shutting_down": True}
+        if parts == ["sessions"]:
+            if method == "GET":
+                return {"sessions": self.manager.list_info()}
+            self._expect(method, "POST")
+            return await self._create_session(self._json_body(body))
+        if len(parts) == 2 and parts[0] == "sessions":
+            name = parts[1]
+            if method == "GET":
+                return await self._with_session(name, self.manager.info)
+            self._expect(method, "DELETE")
+            return await self._delete_session(name)
+        if len(parts) == 3 and parts[0] == "sessions":
+            name, verb = parts[1], parts[2]
+            if verb == "batch":
+                self._expect(method, "POST")
+                return await self._enqueue_batch(name, self._json_body(body))
+            if verb == "community":
+                self._expect(method, "GET")
+                return await self._community(name, query)
+            if verb == "members":
+                self._expect(method, "GET")
+                return await self._members(name, query)
+            if verb == "top":
+                self._expect(method, "GET")
+                return await self._top(name, query)
+            if verb == "report":
+                self._expect(method, "GET")
+                return await self._report(name, query)
+            if verb == "snapshot":
+                self._expect(method, "POST")
+                return await self._snapshot(name)
+            if verb == "evict":
+                self._expect(method, "POST")
+                return await self._evict(name)
+        raise ServeError("not_found", f"unknown route {split.path!r}")
+
+    @staticmethod
+    def _expect(method: str, allowed: str) -> None:
+        if method != allowed:
+            raise ServeError(
+                "method_not_allowed", f"use {allowed} for this route"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Session routes
+    # ------------------------------------------------------------------ #
+    def _lock(self, name: str) -> asyncio.Lock:
+        lock = self._locks.get(name)
+        if lock is None:
+            lock = self._locks[name] = asyncio.Lock()
+        return lock
+
+    async def _with_session(self, name: str, fn, *args: Any) -> Any:
+        """Run ``fn(name_or_session, ...)`` under the session lock."""
+        async with self._lock(name):
+            try:
+                return fn(name, *args)
+            except KeyError as exc:
+                raise ServeError("session_not_found", str(exc)) from exc
+
+    async def _create_session(self, payload: dict[str, Any]) -> dict[str, Any]:
+        name = payload.get("name")
+        if not isinstance(name, str) or not name:
+            raise ServeError("bad_request", "session creation needs a 'name'")
+        try:
+            self.manager.validate_name(name)
+        except ValueError as exc:
+            raise ServeError("invalid_name", str(exc)) from exc
+        if self.manager.has(name):
+            raise ServeError("session_exists", f"session {name!r} already exists")
+        graph = decode_graph_spec(payload)
+        config_spec = payload.get("config") or {}
+        try:
+            config = StreamConfig.from_dict(config_spec)
+        except (TypeError, ValueError) as exc:
+            raise ServeError("bad_request", f"invalid config: {exc}") from exc
+        async with self._lock(name):
+            # The initial clustering is CPU-bound; keep the loop alive.
+            assert self._loop is not None
+            await self._loop.run_in_executor(
+                None, lambda: self.manager.create(name, graph, config)
+            )
+            return self.manager.info(name)
+
+    async def _delete_session(self, name: str) -> dict[str, Any]:
+        async with self._lock(name):
+            self._teardown_worker(name)
+            try:
+                self.manager.delete(name)
+            except KeyError as exc:
+                raise ServeError("session_not_found", str(exc)) from exc
+            except RuntimeError as exc:
+                raise ServeError("session_busy", str(exc)) from exc
+            return {"ok": True, "deleted": name}
+
+    def _teardown_worker(self, name: str) -> None:
+        worker = self._workers.pop(name, None)
+        if worker is not None:
+            worker.cancel()
+        queue = self._queues.pop(name, None)
+        if queue is not None:
+            while not queue.empty():
+                request = queue.get_nowait()
+                if not request.future.done():
+                    request.future.set_exception(
+                        ServeError("session_not_found", f"session {name!r} deleted")
+                    )
+
+    # -------------------------- batches ------------------------------- #
+    async def _enqueue_batch(
+        self, name: str, payload: dict[str, Any]
+    ) -> dict[str, Any]:
+        if not self.manager.has(name):
+            raise ServeError("session_not_found", f"unknown session {name!r}")
+        add, remove = decode_batch(payload)
+        self.stats.batch_requests += 1
+        assert self._loop is not None
+        future: asyncio.Future = self._loop.create_future()
+        queue = self._queues.get(name)
+        if queue is None:
+            queue = self._queues[name] = asyncio.Queue()
+        worker = self._workers.get(name)
+        if worker is None or worker.done():
+            self._workers[name] = self._loop.create_task(self._batch_worker(name))
+        await queue.put(_BatchRequest(add, remove, future))
+        return await future
+
+    async def _batch_worker(self, name: str) -> None:
+        """Per-session consumer: drain, coalesce, apply once, answer all."""
+        queue = self._queues[name]
+        while True:
+            burst = [await queue.get()]
+            if self.coalesce:
+                while not queue.empty():
+                    burst.append(queue.get_nowait())
+            async with self._lock(name):
+                await self._apply_burst(name, burst)
+
+    async def _apply_burst(self, name: str, burst: list[_BatchRequest]) -> None:
+        try:
+            session = self.manager.get(name)
+        except KeyError as exc:
+            for request in burst:
+                if not request.future.done():
+                    request.future.set_exception(
+                        ServeError("session_not_found", str(exc))
+                    )
+            return
+        coalescer = BatchCoalescer(session.graph)
+        accepted: list[_BatchRequest] = []
+        for request in burst:
+            try:
+                coalescer.add_batch(add=request.add, remove=request.remove)
+                accepted.append(request)
+            except ValueError as exc:
+                if not request.future.done():
+                    request.future.set_exception(
+                        ServeError("invalid_batch", str(exc))
+                    )
+        if not accepted:
+            return
+        add, remove = coalescer.net()
+        self.manager.pin(name)
+        start = perf_counter()
+        assert self._loop is not None
+        try:
+            result = await self._loop.run_in_executor(
+                None, lambda: session.apply(add=add, remove=remove)
+            )
+        except Exception as exc:  # noqa: BLE001 - answer every waiter
+            for request in accepted:
+                if not request.future.done():
+                    request.future.set_exception(
+                        ServeError("server_error", f"apply failed: {exc}")
+                    )
+            return
+        finally:
+            self.manager.unpin(name)
+        self.stats.applies += 1
+        self.stats.apply_seconds += perf_counter() - start
+        self.stats.coalesced_requests += len(accepted) - 1
+        self.stats.max_coalesce = max(self.stats.max_coalesce, len(accepted))
+        self.stats.edges_added += result.edges_added
+        self.stats.edges_removed += result.edges_removed
+        payload = result_payload(result, coalesced=len(accepted))
+        for request in accepted:
+            if not request.future.done():
+                request.future.set_result(payload)
+
+    # -------------------------- queries ------------------------------- #
+    @staticmethod
+    def _int_param(query: dict[str, str], key: str) -> int:
+        if key not in query:
+            raise ServeError("bad_request", f"missing query parameter {key!r}")
+        try:
+            return int(query[key])
+        except ValueError as exc:
+            raise ServeError(
+                "bad_request", f"query parameter {key!r} must be an integer"
+            ) from exc
+
+    async def _community(
+        self, name: str, query: dict[str, str]
+    ) -> dict[str, Any]:
+        vertex = self._int_param(query, "vertex")
+        async with self._lock(name):
+            session = self._session(name)
+            try:
+                community = session.community_of(vertex)
+            except IndexError as exc:
+                raise ServeError("vertex_out_of_range", str(exc)) from exc
+            return {"vertex": vertex, "community": community}
+
+    async def _members(self, name: str, query: dict[str, str]) -> dict[str, Any]:
+        community = self._int_param(query, "community")
+        async with self._lock(name):
+            session = self._session(name)
+            members = session.members(community)
+            return {
+                "community": community,
+                "size": int(members.size),
+                "members": members[:MAX_MEMBERS].tolist(),
+                "truncated": bool(members.size > MAX_MEMBERS),
+            }
+
+    async def _top(self, name: str, query: dict[str, str]) -> dict[str, Any]:
+        k = int(query.get("k", "10") or "10")
+        by = query.get("by", "size")
+        async with self._lock(name):
+            session = self._session(name)
+            try:
+                top = session.top_k_communities(k, by=by)
+            except ValueError as exc:
+                raise ServeError("bad_request", str(exc)) from exc
+            return {
+                "by": by,
+                "communities": [
+                    {"community": c, by: (int(v) if by == "size" else v)}
+                    for c, v in top
+                ],
+            }
+
+    async def _report(self, name: str, query: dict[str, str]) -> dict[str, Any]:
+        which = query.get("which", "last")
+        if which not in ("last", "initial", "all"):
+            raise ServeError(
+                "bad_request", "report 'which' must be last, initial or all"
+            )
+        async with self._lock(name):
+            session = self._session(name)
+            if which == "all":
+                return {
+                    "initial": (
+                        session.initial_report.to_dict()
+                        if session.initial_report
+                        else None
+                    ),
+                    "batches": [r.to_dict() for r in session.reports],
+                }
+            if which == "initial":
+                report = session.initial_report
+            else:
+                report = session.reports[-1] if session.reports else None
+            return {"report": report.to_dict() if report else None}
+
+    def _session(self, name: str):
+        try:
+            return self.manager.get(name)
+        except KeyError as exc:
+            raise ServeError("session_not_found", str(exc)) from exc
+
+    async def _snapshot(self, name: str) -> dict[str, Any]:
+        async with self._lock(name):
+            try:
+                path = self.manager.snapshot(name)
+            except KeyError as exc:
+                raise ServeError("session_not_found", str(exc)) from exc
+            return {"ok": True, "snapshot": str(path)}
+
+    async def _evict(self, name: str) -> dict[str, Any]:
+        async with self._lock(name):
+            try:
+                path = self.manager.evict(name)
+            except KeyError as exc:
+                raise ServeError("session_not_found", str(exc)) from exc
+            except RuntimeError as exc:
+                raise ServeError("session_busy", str(exc)) from exc
+            return {"ok": True, "snapshot": str(path)}
+
+    # ------------------------------------------------------------------ #
+    # Stats
+    # ------------------------------------------------------------------ #
+    def _stats_payload(self) -> dict[str, Any]:
+        payload = self.stats.to_dict()
+        payload["coalesce"] = self.coalesce
+        payload["sessions"] = self.manager.stats()
+        payload["queues"] = {
+            name: queue.qsize() for name, queue in self._queues.items()
+        }
+        return payload

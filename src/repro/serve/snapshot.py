@@ -1,0 +1,182 @@
+"""Session persistence: round-trip a ``StreamSession`` to disk and back.
+
+A snapshot is two files next to each other, ``<base>.npz`` +
+``<base>.json``:
+
+* the ``.npz`` holds every array — CSR ``indptr`` / ``indices`` /
+  ``weights``, the session ``membership``, the last result's flat
+  ``result_membership`` and its per-level partitions ``level_<k>``
+  (float-free int64 / float64 arrays, bit-exact by construction);
+* the JSON sidecar (schema ``repro.serve-snapshot/1``) holds the full
+  :class:`~repro.stream.StreamConfig` (:meth:`~repro.stream.StreamConfig.
+  to_dict`), its trajectory fingerprint, the batch counter, the scalar
+  result fields, and the session's trajectory state — the initial
+  :class:`~repro.trace.RunReport` plus the per-batch reports, as
+  ``repro.trace/1`` documents.  Python floats round-trip JSON exactly
+  (shortest-repr), so the restored modularity is bit-equal too.
+
+:func:`restore_session` rebuilds the session via
+:meth:`~repro.stream.StreamSession.resume` — **without** re-running the
+initial clustering — so a restored session's next ``apply()`` is
+bit-identical to the uninterrupted original (property-tested in
+``tests/serve/test_snapshot.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..result import StreamResult
+from ..stream import StreamConfig, StreamSession
+from ..trace import NullTracer, RunReport, Tracer
+
+__all__ = ["SNAPSHOT_SCHEMA", "snapshot_session", "restore_session", "snapshot_paths"]
+
+SNAPSHOT_SCHEMA = "repro.serve-snapshot/1"
+
+#: Scalar / list result fields persisted in the sidecar (array fields —
+#: membership and the per-level partitions — live in the ``.npz``).
+_RESULT_SCALARS = (
+    "modularity",
+    "modularity_per_level",
+    "sweeps_per_level",
+    "batch",
+    "edges_added",
+    "edges_removed",
+    "pairs_changed",
+    "frontier_size",
+    "frontier_fraction",
+    "mode",
+    "full_rerun",
+    "q_full",
+    "nmi_vs_full",
+    "seconds",
+)
+
+
+def snapshot_paths(base: str | Path) -> tuple[Path, Path]:
+    """The ``(.npz, .json)`` pair a snapshot of ``base`` occupies.
+
+    Plain string concatenation, not ``with_suffix`` — session names may
+    contain dots.
+    """
+    return Path(f"{base}.npz"), Path(f"{base}.json")
+
+
+def snapshot_session(session: StreamSession, base: str | Path) -> Path:
+    """Persist ``session`` under ``<base>.npz`` + ``<base>.json``.
+
+    Returns the sidecar path.  Writing is atomic per file (temp +
+    rename), so a reader never sees a half-written snapshot; the sidecar
+    is written last and is the marker of a complete snapshot.
+    """
+    npz_path, json_path = snapshot_paths(base)
+    npz_path.parent.mkdir(parents=True, exist_ok=True)
+
+    result = session.result
+    arrays: dict[str, np.ndarray] = {
+        "indptr": session.graph.indptr,
+        "indices": session.graph.indices,
+        "weights": session.graph.weights,
+        "membership": session.membership,
+        "result_membership": result.membership,
+    }
+    for k, level in enumerate(result.levels):
+        arrays[f"level_{k}"] = level
+
+    result_state: dict[str, Any] = {
+        "type": type(result).__name__,
+        "num_levels": len(result.levels),
+        "level_sizes": [list(pair) for pair in result.level_sizes],
+    }
+    for name in _RESULT_SCALARS:
+        if hasattr(result, name):
+            result_state[name] = getattr(result, name)
+
+    sidecar = {
+        "schema": SNAPSHOT_SCHEMA,
+        "batches": session.batches,
+        "config": session.config.to_dict(),
+        "fingerprint": session.config.fingerprint(),
+        "num_vertices": session.graph.num_vertices,
+        "num_edges": session.graph.num_edges,
+        "result": result_state,
+        "reports": {
+            "initial": (
+                session.initial_report.to_dict()
+                if session.initial_report is not None
+                else None
+            ),
+            "batches": [report.to_dict() for report in session.reports],
+        },
+    }
+
+    tmp = Path(f"{npz_path}.tmp")
+    with open(tmp, "wb") as handle:
+        np.savez(handle, **arrays)
+    tmp.replace(npz_path)
+    tmp = Path(f"{json_path}.tmp")
+    tmp.write_text(json.dumps(sidecar, indent=2, allow_nan=False) + "\n")
+    tmp.replace(json_path)
+    return json_path
+
+
+def restore_session(
+    base: str | Path,
+    *,
+    tracer: Tracer | NullTracer | None = None,
+) -> StreamSession:
+    """Rebuild the session persisted under ``<base>.npz`` + ``<base>.json``.
+
+    The restored session resumes exactly where the original stopped:
+    same graph, membership, config, batch counter, last result and
+    accumulated reports — its next :meth:`~repro.stream.StreamSession.
+    apply` is bit-identical to the uninterrupted session's.
+    """
+    npz_path, json_path = snapshot_paths(base)
+    if not json_path.exists():
+        raise FileNotFoundError(f"no snapshot sidecar at {json_path}")
+    sidecar = json.loads(json_path.read_text())
+    if sidecar.get("schema") != SNAPSHOT_SCHEMA:
+        raise ValueError(
+            f"{json_path}: schema {sidecar.get('schema')!r} is not "
+            f"{SNAPSHOT_SCHEMA!r}"
+        )
+    with np.load(npz_path) as arrays:
+        graph = CSRGraph(
+            indptr=arrays["indptr"],
+            indices=arrays["indices"],
+            weights=arrays["weights"],
+        )
+        membership = arrays["membership"]
+        state = sidecar["result"]
+        levels = [arrays[f"level_{k}"] for k in range(int(state["num_levels"]))]
+        result_membership = arrays["result_membership"]
+
+    config = StreamConfig.from_dict(sidecar["config"])
+    kwargs: dict[str, Any] = {
+        name: state[name] for name in _RESULT_SCALARS if name in state
+    }
+    result = StreamResult(
+        levels=levels,
+        level_sizes=[tuple(pair) for pair in state["level_sizes"]],
+        membership=result_membership,
+        **kwargs,
+    )
+    reports = sidecar.get("reports", {})
+    initial = reports.get("initial")
+    return StreamSession.resume(
+        graph,
+        config,
+        result=result,
+        membership=membership,
+        batches=int(sidecar.get("batches", 0)),
+        tracer=tracer,
+        reports=[RunReport.from_dict(r) for r in reports.get("batches", [])],
+        initial_report=RunReport.from_dict(initial) if initial else None,
+    )

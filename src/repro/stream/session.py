@@ -107,6 +107,68 @@ class StreamConfig:
                 "(relaxed_updates=False)"
             )
 
+    #: Engine-config fields that are structured objects (device spec, cost
+    #: model) rather than result-determining tunables.  They only matter
+    #: to the simulated engine's profiler — which streaming rejects — so
+    #: serialisation and fingerprinting skip them and restores rebuild
+    #: them from their defaults.
+    _STRUCTURED_LOUVAIN_FIELDS = ("device", "cost_parameters")
+
+    def to_meta(self) -> dict:
+        """Flat JSON-safe dict of every result-determining tunable.
+
+        This is the *full* configuration of a session — the stream-layer
+        fields plus every primitive :class:`~repro.core.GPULouvainConfig`
+        field — in the shape :func:`repro.obs.config_fingerprint` hashes.
+        Streaming :class:`~repro.trace.RunReport` metadata embeds it (as
+        ``meta["config"]``) so a restored session reproduces the exact
+        trajectory fingerprint of the original.
+        """
+        meta: dict = {
+            "screening": self.screening,
+            "frontier_scope": self.frontier_scope,
+            "full_rerun_interval": self.full_rerun_interval,
+            "frontier_fraction_limit": self.frontier_fraction_limit,
+        }
+        for spec in dataclasses.fields(GPULouvainConfig):
+            if spec.name in self._STRUCTURED_LOUVAIN_FIELDS:
+                continue
+            value = getattr(self.louvain, spec.name)
+            if isinstance(value, tuple):
+                value = [list(v) if isinstance(v, tuple) else v for v in value]
+            meta[spec.name] = value
+        return meta
+
+    # JSON persistence (snapshot sidecars) uses the same flat shape.
+    to_dict = to_meta
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamConfig":
+        """Rebuild a config from its :meth:`to_dict` form."""
+        data = dict(data)
+        stream_kwargs = {
+            spec.name: data.pop(spec.name)
+            for spec in dataclasses.fields(cls)
+            if spec.name != "louvain" and spec.name in data
+        }
+        for key in (
+            "degree_bucket_bounds", "group_sizes", "community_bucket_bounds"
+        ):
+            if key in data:
+                data[key] = tuple(data[key])
+        if data.get("threshold_schedule") is not None:
+            data["threshold_schedule"] = tuple(
+                (int(limit), float(threshold))
+                for limit, threshold in data["threshold_schedule"]
+            )
+        return cls(louvain=GPULouvainConfig(**data), **stream_kwargs)
+
+    def fingerprint(self) -> str:
+        """The :mod:`repro.obs` trajectory fingerprint of this config."""
+        from ..obs.trajectory import config_fingerprint
+
+        return config_fingerprint(self.to_meta())
+
 
 def _singleton_modularity(graph: CSRGraph, resolution: float) -> float:
     """Q of the singleton partition of a *contracted* graph.
@@ -221,7 +283,50 @@ class StreamSession:
                 initial=True,
                 num_vertices=graph.num_vertices,
                 num_edges=graph.num_edges,
+                config=config.to_meta(),
+                fingerprint=config.fingerprint(),
             )
+
+    @classmethod
+    def resume(
+        cls,
+        graph: CSRGraph,
+        config: StreamConfig,
+        *,
+        result: GPULouvainResult | StreamResult,
+        membership: np.ndarray | None = None,
+        batches: int = 0,
+        tracer: Tracer | NullTracer | None = None,
+        reports: list[RunReport] | None = None,
+        initial_report: RunReport | None = None,
+    ) -> "StreamSession":
+        """Rebuild a session from persisted state without re-clustering.
+
+        The snapshot/restore path (:mod:`repro.serve.snapshot`):
+        :meth:`apply` depends only on ``graph``, ``membership`` and
+        ``config``, so a session resumed from the exact persisted state
+        continues **bit-identically** to the uninterrupted original
+        (property-tested).  ``membership`` defaults to
+        ``result.membership``; pass it explicitly when the session had
+        resynced to a full-audit clustering (``full_rerun_interval``),
+        where the two differ.
+        """
+        session = object.__new__(cls)
+        session.config = config
+        session.graph = graph
+        session.batches = int(batches)
+        session.tracer = as_tracer(tracer)
+        session.reports = list(reports) if reports else []
+        session.initial_report = initial_report
+        session.result = result
+        session.membership = (
+            result.membership
+            if membership is None
+            else np.asarray(membership, dtype=np.int64)
+        )
+        if session.membership.shape != (graph.num_vertices,):
+            raise ValueError("membership must assign one label per vertex")
+        return session
 
     @property
     def modularity(self) -> float:
@@ -270,9 +375,58 @@ class StreamSession:
                 screening=self.config.screening,
                 num_vertices=self.graph.num_vertices,
                 num_edges=self.graph.num_edges,
+                config=self.config.to_meta(),
+                fingerprint=self.config.fingerprint(),
             )
         )
         return result
+
+    # ------------------------------------------------------------------ #
+    # Partition queries
+    # ------------------------------------------------------------------ #
+    def community_of(self, vertex: int) -> int:
+        """Community label of ``vertex`` in the current clustering."""
+        v = int(vertex)
+        if not 0 <= v < self.graph.num_vertices:
+            raise IndexError(
+                f"vertex {v} out of range [0, {self.graph.num_vertices})"
+            )
+        return int(self.membership[v])
+
+    def members(self, community: int) -> np.ndarray:
+        """Sorted vertex ids of community ``community`` (empty if absent)."""
+        return np.flatnonzero(self.membership == int(community))
+
+    def top_k_communities(
+        self, k: int = 10, *, by: str = "size"
+    ) -> list[tuple[int, float]]:
+        """The ``k`` largest communities as ``(label, value)`` pairs.
+
+        ``by="size"`` ranks by member count; ``by="volume"`` by the sum
+        of members' weighted degrees (the community's ``a_c``, what the
+        null model of Eq. (1) charges it).  Ties break toward the
+        smaller label; ``k`` larger than the community count returns
+        them all.
+        """
+        if by not in ("size", "volume"):
+            raise ValueError(f"unknown ranking: {by!r} (size or volume)")
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        labels = self.membership
+        if labels.size == 0 or k == 0:
+            return []
+        counts = np.bincount(labels)
+        if by == "size":
+            scores = counts.astype(np.float64)
+        else:
+            scores = np.bincount(
+                labels, weights=self.graph.weighted_degrees,
+                minlength=counts.size,
+            )
+        present = np.flatnonzero(counts > 0)
+        order = np.lexsort((present, -scores[present]))
+        top = present[order[:k]]
+        return [(int(c), float(scores[c])) for c in top]
 
     def _apply(self, add: tuple | None, remove: tuple | None) -> StreamResult:
         """:meth:`apply` body (tracing handled by the wrapper)."""

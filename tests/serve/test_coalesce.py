@@ -1,0 +1,229 @@
+"""BatchCoalescer: fold semantics vs. sequential ``apply_edge_batch``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gpu_louvain import gpu_louvain
+from repro.graph.build import apply_edge_batch, from_edges
+from repro.graph.generators import caveman
+from repro.serve import BatchCoalescer
+from repro.stream import StreamConfig, StreamSession
+
+from ..conftest import csr_graphs
+
+
+def _pairs(graph):
+    u, v, w = graph.edge_list(unique=True)
+    return {(int(a), int(b)): float(c) for a, b, c in zip(u, v, w)}
+
+
+def _arrays(t):
+    """Normalise an (add / remove) tuple to plain int/float lists."""
+    if t is None:
+        return None
+    return tuple(np.asarray(part).tolist() for part in t)
+
+
+# --------------------------------------------------------------------- #
+# Unit semantics
+# --------------------------------------------------------------------- #
+class TestFoldRules:
+    def base(self):
+        return from_edges([0, 1, 2, 3], [1, 2, 3, 0], [1.0, 1.0, 1.0, 1.0])
+
+    def test_duplicate_adds_in_one_batch_merge(self):
+        bc = BatchCoalescer(self.base())
+        bc.add_batch(add=([0, 2, 0], [2, 0, 2], [1.0, 2.0, 3.0]))
+        add, remove = bc.net()
+        assert remove is None
+        assert _arrays(add) == ([0], [2], [6.0])
+
+    def test_duplicate_adds_across_batches_merge(self):
+        bc = BatchCoalescer(self.base())
+        bc.add_batch(add=([0], [2], [1.5]))
+        bc.add_batch(add=([2], [0], [2.5]))
+        add, remove = bc.net()
+        assert remove is None
+        assert _arrays(add) == ([0], [2], [4.0])
+        assert bc.requests == 2
+        assert bc.pairs_touched == 1
+
+    def test_add_onto_existing_edge_sums(self):
+        bc = BatchCoalescer(self.base())
+        bc.add_batch(add=([0], [1], [2.0]))
+        bc.add_batch(add=([1], [0], [3.0]))
+        add, remove = bc.net()
+        assert remove is None
+        assert _arrays(add) == ([0], [1], [5.0])
+
+    def test_insert_then_delete_same_batch_collapses(self):
+        bc = BatchCoalescer(self.base())
+        # (0,2) does not exist: created and removed in one batch -> nothing.
+        # apply_edge_batch validates removes against the batch *start*, so
+        # within one batch this remove is invalid; across the burst the
+        # coalescer sees the pair exist when batch 2 arrives.
+        bc.add_batch(add=([0], [2], [1.0]))
+        bc.add_batch(remove=([0], [2]))
+        add, remove = bc.net()
+        assert add is None and remove is None
+
+    def test_existing_removed_then_readded(self):
+        bc = BatchCoalescer(self.base())
+        bc.add_batch(remove=([0], [1]))
+        bc.add_batch(add=([1], [0], [7.0]))
+        add, remove = bc.net()
+        assert _arrays(remove) == ([0], [1])
+        assert _arrays(add) == ([0], [1], [7.0])
+
+    def test_existing_removed_and_readded_same_batch(self):
+        # apply_edge_batch semantics: the pair ends with exactly the added
+        # weight (not base + added).
+        bc = BatchCoalescer(self.base())
+        bc.add_batch(add=([0], [1], [9.0]), remove=([0], [1]))
+        add, remove = bc.net()
+        assert _arrays(remove) == ([0], [1])
+        assert _arrays(add) == ([0], [1], [9.0])
+
+    def test_existing_removed_stays_removed(self):
+        bc = BatchCoalescer(self.base())
+        bc.add_batch(remove=([2], [1]))
+        add, remove = bc.net()
+        assert add is None
+        assert _arrays(remove) == ([1], [2])
+
+    def test_remove_nonexistent_raises_and_rolls_back(self):
+        bc = BatchCoalescer(self.base())
+        bc.add_batch(add=([0], [2], [1.0]))
+        # (1, 3) does not exist at this batch's start — the same-batch add
+        # does not rescue the remove (apply_edge_batch validates removals
+        # against the batch start).
+        with pytest.raises(ValueError):
+            bc.add_batch(add=([1], [3], [5.0]), remove=([1], [3]))
+        # the failed batch left no trace: neither its add nor its remove
+        add, remove = bc.net()
+        assert _arrays(add) == ([0], [2], [1.0])
+        assert remove is None
+        assert bc.requests == 1
+
+    def test_remove_twice_raises(self):
+        bc = BatchCoalescer(self.base())
+        bc.add_batch(remove=([0], [1]))
+        with pytest.raises(ValueError):
+            bc.add_batch(remove=([0], [1]))
+
+    def test_burst_created_pair_removable_in_later_batch(self):
+        bc = BatchCoalescer(self.base())
+        bc.add_batch(add=([0], [2], [1.0]))
+        bc.add_batch(remove=([0], [2]))
+        with pytest.raises(ValueError):
+            bc.add_batch(remove=([0], [2]))
+
+    def test_zero_weight_structural_add_is_kept(self):
+        bc = BatchCoalescer(self.base())
+        bc.add_batch(add=([0], [2], [0.0]))
+        add, remove = bc.net()
+        assert _arrays(add) == ([0], [2], [0.0])
+
+    def test_zero_net_touch_of_existing_pair_is_dropped(self):
+        bc = BatchCoalescer(self.base())
+        bc.add_batch(add=([0], [1], [2.0]))
+        bc.add_batch(add=([0], [1], [-2.0]))
+        add, remove = bc.net()
+        assert add is None and remove is None
+
+    def test_empty_net(self):
+        bc = BatchCoalescer(self.base())
+        assert bc.net() == (None, None)
+        bc.add_batch()
+        assert bc.net() == (None, None)
+
+
+# --------------------------------------------------------------------- #
+# Property: coalesced apply == sequential applies (graph level)
+# --------------------------------------------------------------------- #
+@st.composite
+def bursts(draw):
+    """A base graph plus a sequentially-valid burst of batches."""
+    graph = draw(csr_graphs(max_vertices=10, max_edges=24, min_edges=2))
+    n = graph.num_vertices
+    current = graph
+    batches = []
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        na = draw(st.integers(min_value=0, max_value=4))
+        add = None
+        if na:
+            au = draw(st.lists(st.integers(0, n - 1), min_size=na, max_size=na))
+            av = draw(st.lists(st.integers(0, n - 1), min_size=na, max_size=na))
+            # Integer weights: summation order cannot perturb the floats,
+            # so graph equivalence is bit-exact.
+            aw = [float(w) for w in
+                  draw(st.lists(st.integers(1, 4), min_size=na, max_size=na))]
+            add = (np.array(au), np.array(av), np.array(aw))
+        eu, ev, _ = current.edge_list(unique=True)
+        remove = None
+        if eu.size:
+            nr = draw(st.integers(min_value=0, max_value=min(3, eu.size)))
+            if nr:
+                idx = draw(st.lists(
+                    st.integers(0, eu.size - 1),
+                    min_size=nr, max_size=nr, unique=True,
+                ))
+                remove = (eu[list(idx)], ev[list(idx)])
+        if add is None and remove is None:
+            continue
+        batches.append((add, remove))
+        current, *_ = apply_edge_batch(current, add=add, remove=remove)
+    return graph, batches, current
+
+
+@settings(max_examples=60, deadline=None)
+@given(bursts())
+def test_coalesced_graph_equals_sequential(data):
+    graph, batches, sequential = data
+    bc = BatchCoalescer(graph)
+    for add, remove in batches:
+        bc.add_batch(add=add, remove=remove)
+    add, remove = bc.net()
+    if add is None and remove is None:
+        coalesced = graph
+    else:
+        coalesced, *_ = apply_edge_batch(graph, add=add, remove=remove)
+    np.testing.assert_array_equal(coalesced.indptr, sequential.indptr)
+    np.testing.assert_array_equal(coalesced.indices, sequential.indices)
+    np.testing.assert_array_equal(coalesced.weights, sequential.weights)
+
+
+# --------------------------------------------------------------------- #
+# Clustering equivalence under exact screening
+# --------------------------------------------------------------------- #
+def test_coalesced_apply_matches_full_rerun_on_sequential_graph():
+    """Exact screening: one coalesced apply == warm full run on the graph
+    the burst's batches produce sequentially."""
+    graph, _ = caveman(6, 8)
+    session = StreamSession(graph, StreamConfig(screening="exact"))
+    m0 = session.membership.copy()
+
+    batches = [
+        ((np.array([0, 8]), np.array([16, 24]), np.array([1.0, 2.0])), None),
+        ((np.array([0]), np.array([16]), np.array([1.0])),
+         (np.array([1]), np.array([2]))),
+        (None, (np.array([0]), np.array([16]))),
+    ]
+    sequential = graph
+    for add, remove in batches:
+        sequential, *_ = apply_edge_batch(sequential, add=add, remove=remove)
+
+    bc = BatchCoalescer(graph)
+    for add, remove in batches:
+        bc.add_batch(add=add, remove=remove)
+    add, remove = bc.net()
+    result = session.apply(add=add, remove=remove)
+
+    np.testing.assert_array_equal(session.graph.weights, sequential.weights)
+    full = gpu_louvain(sequential, initial_communities=m0)
+    np.testing.assert_array_equal(result.membership, full.membership)
+    assert result.modularity == full.modularity

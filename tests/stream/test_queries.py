@@ -1,0 +1,139 @@
+"""StreamSession partition queries and config-in-report round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import GPULouvainConfig
+from repro.graph.generators import caveman, karate_club
+from repro.obs.trajectory import config_fingerprint, entry_from_report
+from repro.stream import StreamConfig, StreamSession
+from repro.trace import Tracer
+
+from ..conftest import csr_graphs
+
+
+@pytest.fixture
+def session():
+    graph, _ = caveman(4, 6)
+    return StreamSession(graph, StreamConfig())
+
+
+# --------------------------------------------------------------------- #
+# community_of / members / top_k_communities
+# --------------------------------------------------------------------- #
+def test_community_of_matches_membership(session):
+    for v in range(session.graph.num_vertices):
+        assert session.community_of(v) == int(session.membership[v])
+    with pytest.raises(IndexError):
+        session.community_of(session.graph.num_vertices)
+    with pytest.raises(IndexError):
+        session.community_of(-1)
+
+
+def test_members_partition_the_vertex_set(session):
+    labels = {session.community_of(v) for v in range(session.graph.num_vertices)}
+    seen: list[int] = []
+    for label in labels:
+        members = session.members(label)
+        assert list(members) == sorted(members)  # sorted vertex ids
+        assert all(session.membership[m] == label for m in members)
+        seen.extend(int(m) for m in members)
+    assert sorted(seen) == list(range(session.graph.num_vertices))
+    assert session.members(10 ** 6).size == 0
+
+
+def test_top_k_by_size(session):
+    top = session.top_k_communities(3, by="size")
+    assert len(top) == 3
+    sizes = [s for _, s in top]
+    assert sizes == sorted(sizes, reverse=True)
+    for label, size in top:
+        assert session.members(label).size == size
+
+
+def test_top_k_by_volume(session):
+    top = session.top_k_communities(2, by="volume")
+    degrees = session.graph.weighted_degrees
+    for label, volume in top:
+        assert volume == pytest.approx(degrees[session.members(label)].sum())
+
+
+def test_top_k_edge_cases(session):
+    everything = session.top_k_communities(10 ** 6)
+    assert len(everything) == len(set(session.membership.tolist()))
+    assert session.top_k_communities(0) == []
+    with pytest.raises(ValueError):
+        session.top_k_communities(3, by="degree")
+    with pytest.raises(ValueError):
+        session.top_k_communities(-1)
+
+
+def test_top_k_ties_break_toward_smaller_label():
+    # caveman caves are equal-sized: every community ties on size.
+    graph, _ = caveman(5, 6)
+    session = StreamSession(graph, StreamConfig())
+    top = session.top_k_communities(100, by="size")
+    sizes = [s for _, s in top]
+    labels = [c for c, _ in top]
+    for i in range(len(top) - 1):
+        if sizes[i] == sizes[i + 1]:
+            assert labels[i] < labels[i + 1]
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=csr_graphs(max_vertices=16, max_edges=40, min_edges=1))
+def test_queries_consistent_on_random_graphs(graph):
+    session = StreamSession(graph, StreamConfig())
+    n = graph.num_vertices
+    total = sum(s for _, s in session.top_k_communities(n, by="size"))
+    assert total == n
+    volumes = session.top_k_communities(n, by="volume")
+    assert sum(v for _, v in volumes) == pytest.approx(
+        graph.weighted_degrees.sum()
+    )
+
+
+# --------------------------------------------------------------------- #
+# Satellite: full StreamConfig in streaming RunReport metadata
+# --------------------------------------------------------------------- #
+def test_config_round_trips_through_meta():
+    config = StreamConfig(
+        louvain=GPULouvainConfig(resolution=1.25, threshold_bin=1e-3),
+        screening="exact",
+        frontier_scope="endpoints",
+        full_rerun_interval=3,
+        frontier_fraction_limit=0.4,
+    )
+    assert StreamConfig.from_dict(config.to_meta()) == config
+    # JSON-safe: only primitives and lists
+    import json
+
+    json.dumps(config.to_meta())
+
+
+def test_reports_carry_config_and_fingerprint():
+    graph = karate_club()
+    config = StreamConfig(screening="exact", full_rerun_interval=2)
+    session = StreamSession(graph, config, tracer=Tracer())
+    session.apply(add=(np.array([0]), np.array([20]), None))
+
+    for report in [session.initial_report, *session.reports]:
+        assert report.meta["fingerprint"] == config.fingerprint()
+        assert StreamConfig.from_dict(report.meta["config"]) == config
+        # the trajectory store keys restored sessions identically
+        entry = entry_from_report(report, graph="karate")
+        assert entry.fingerprint == config.fingerprint()
+
+
+def test_fingerprint_is_stable_across_round_trip():
+    config = StreamConfig(
+        louvain=GPULouvainConfig(resolution=1.5), screening="local"
+    )
+    rebuilt = StreamConfig.from_dict(config.to_meta())
+    assert rebuilt.fingerprint() == config.fingerprint()
+    assert config.fingerprint() == config_fingerprint(config.to_meta())
+    # different configs fingerprint differently
+    assert StreamConfig().fingerprint() != config.fingerprint()

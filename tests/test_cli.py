@@ -435,3 +435,23 @@ def test_bench_gate_append_extends_baseline(karate_trace, capsys, tmp_path):
     out = capsys.readouterr().out
     assert "new" in out  # no history yet: every check is new, gate passes
     assert len(TrajectoryStore(store_path).load()) == 1
+
+
+def test_serve_parser_flags():
+    args = build_parser().parse_args(
+        ["serve", "--port", "0", "--max-sessions", "3", "--max-bytes",
+         "1000000", "--snapshot-dir", "snaps", "--no-coalesce", "--no-trace"]
+    )
+    assert args.command == "serve"
+    assert args.port == 0
+    assert args.max_sessions == 3
+    assert args.max_bytes == 1_000_000
+    assert args.snapshot_dir == "snaps"
+    assert args.no_coalesce is True
+    assert args.no_trace is True
+    defaults = build_parser().parse_args(["serve"])
+    assert defaults.host == "127.0.0.1"
+    assert defaults.port == 8077
+    assert defaults.max_sessions == 8
+    assert defaults.max_bytes is None
+    assert defaults.no_coalesce is False
