@@ -22,11 +22,21 @@ Acceptance:
 
 Writes ``benchmarks/results/bench_stream.json`` (uploaded as a CI
 artifact) plus the usual text table.
+
+Set ``BENCH_STREAM_ALGO=leiden`` (or ``lpa``) to replay the same
+scenario through another :mod:`repro.core.engine` algorithm; the
+results land in ``bench_stream_<algo>.*`` so the default louvain
+artifacts (and the committed baselines keyed on them) stay untouched.
+With ``leiden``, the nlpkkt200 case additionally gates on
+``nmi_vs_full`` >= ``MIN_NMI_VS_FULL`` — the streaming-degeneracy
+acceptance number (the audit-semantics agreement with a warm full run,
+which the pre-engine sessions could not hold through churn).
 """
 
 from __future__ import annotations
 
 import json
+import os
 from time import perf_counter
 
 import numpy as np
@@ -34,10 +44,11 @@ import pytest
 
 from repro.bench.reporting import banner, format_table
 from repro.bench.suite import SUITE
+from repro.core.engine import ALGO_NAMES, get_engine
 from repro.core.gpu_louvain import gpu_louvain
 from repro.metrics.modularity import modularity
 from repro.metrics.quality import normalized_mutual_information
-from repro.stream import StreamSession
+from repro.stream import StreamConfig, StreamSession
 from repro.trace import Tracer
 
 from _util import RESULTS_DIR, emit, emit_report
@@ -53,9 +64,22 @@ CHURN = 0.005  # fraction of edges changed per batch (<= 1% per ISSUE)
 REMOVE_FRACTION = 0.2
 COLD_ROUNDS = 2
 
+#: Detection algorithm for the sessions (see repro.core.engine).
+ALGO = os.environ.get("BENCH_STREAM_ALGO", "louvain")
+if ALGO not in ALGO_NAMES:  # pragma: no cover - operator error
+    raise SystemExit(f"BENCH_STREAM_ALGO must be one of {list(ALGO_NAMES)}")
+
+#: Result-file stem: the default algo keeps the historical names.
+STEM = "bench_stream" if ALGO == "louvain" else f"bench_stream_{ALGO}"
+
 #: Acceptance bar: median incremental speedup vs cold re-clustering.
-MIN_SPEEDUP = 5.0
+#: Leiden/lpa batches pay for refinement audits (or extra sweeps) that
+#: plain louvain skips, so their bar is lower — their acceptance story
+#: is the quality gate below, not raw speed.
+MIN_SPEEDUP = 5.0 if ALGO == "louvain" else 2.0
 MIN_NMI = 0.95
+#: Acceptance bar (leiden, nlpkkt200): agreement with a warm full run.
+MIN_NMI_VS_FULL = 0.85
 
 
 def _random_batch(graph, count: int, rng: np.random.Generator):
@@ -79,14 +103,17 @@ def measurements():
         entry = next(e for e in SUITE if e.name == name)
         graph = entry.load(scale)
         rng = np.random.default_rng(7)
-        session = StreamSession(
-            graph, screening="local", frontier_scope="endpoints", tracer=Tracer()
+        config = StreamConfig(
+            algo=ALGO, screening="local", frontier_scope="endpoints"
         )
+        session = StreamSession(graph, config, tracer=Tracer())
+        engine = get_engine(ALGO)
         prev_cold = session.result  # cold-equivalent baseline partition
         per_batch = []
         batch_edges = max(1, int(graph.num_edges * CHURN))
         for _ in range(BATCHES):
             add, remove = _random_batch(session.graph, batch_edges, rng)
+            before = session.membership.copy()
             result = session.apply(add=add, remove=remove)
 
             cold_seconds = np.inf
@@ -95,6 +122,16 @@ def measurements():
                 start = perf_counter()
                 cold = gpu_louvain(session.graph)
                 cold_seconds = min(cold_seconds, perf_counter() - start)
+
+            # The audit comparison: a warm full run of the session's own
+            # algorithm from the pre-batch membership (the same
+            # semantics full_rerun_interval gates on).
+            full = engine.detect(
+                session.graph, config.louvain, initial_communities=before
+            )
+            nmi_vs_full = normalized_mutual_information(
+                result.membership, full.membership
+            )
 
             nmi = normalized_mutual_information(
                 result.membership, cold.membership
@@ -121,6 +158,7 @@ def measurements():
                     "q_stream": result.modularity,
                     "q_cold": cold.modularity,
                     "q_drift": abs(result.modularity - q_check),
+                    "nmi_vs_full": nmi_vs_full,
                     "nmi_vs_cold": nmi,
                     "cold_stability_nmi": stability,
                 }
@@ -153,6 +191,24 @@ def test_stream_quality(measurements):
             assert agrees or as_good, (case["graph"], row)
 
 
+def test_leiden_agrees_with_warm_full_run(measurements):
+    """The streaming-degeneracy acceptance gate (BENCH_STREAM_ALGO=leiden).
+
+    nmi_vs_cold on nlpkkt200 is bounded by cold-solver degeneracy
+    (cold runs disagree with *each other* at ~0.6); the well-posed
+    quality number is agreement with a warm full run — the audit
+    semantics.  Leiden must hold it >= MIN_NMI_VS_FULL through churn.
+    """
+    if ALGO != "leiden":
+        pytest.skip("gate applies to BENCH_STREAM_ALGO=leiden runs")
+    case = next(c for c in measurements if c["graph"] == "nlpkkt200")
+    for row in case["batches"]:
+        assert row["nmi_vs_full"] >= MIN_NMI_VS_FULL, (
+            f"nlpkkt200 batch {row['batch']}: nmi_vs_full "
+            f"{row['nmi_vs_full']:.4f} < {MIN_NMI_VS_FULL}"
+        )
+
+
 def test_stream_speedup(benchmark, measurements):
     name0, scale0 = CASES[0]
     entry0 = next(e for e in SUITE if e.name == name0)
@@ -183,6 +239,7 @@ def test_stream_speedup(benchmark, measurements):
                     row["speedup"],
                     row["q_stream"],
                     row["q_cold"],
+                    row["nmi_vs_full"],
                     row["nmi_vs_cold"],
                 )
             )
@@ -190,7 +247,7 @@ def test_stream_speedup(benchmark, measurements):
 
     text = "\n".join(
         [
-            banner("Streaming: incremental vs cold re-clustering"),
+            banner(f"Streaming: incremental vs cold re-clustering [{ALGO}]"),
             f"{BATCHES} batches x {CHURN:.1%} churn "
             f"({REMOVE_FRACTION:.0%} deletions); cold = min of "
             f"{COLD_ROUNDS} runs",
@@ -207,6 +264,7 @@ def test_stream_speedup(benchmark, measurements):
                     "speedup",
                     "Q stream",
                     "Q cold",
+                    "NMI full",
                     "NMI",
                 ),
                 table_rows,
@@ -214,24 +272,29 @@ def test_stream_speedup(benchmark, measurements):
             ),
         ]
     )
-    emit("bench_stream", text)
+    emit(STEM, text)
 
     trace_reports = [
         report for case in measurements for report in case.pop("_trace")
     ]
     emit_report(
-        "bench_stream",
+        STEM,
         trace_reports,
-        meta={"cases": [name for name, _ in CASES], "churn": CHURN},
+        meta={
+            "cases": [name for name, _ in CASES],
+            "churn": CHURN,
+            "algo": ALGO,
+        },
     )
 
     RESULTS_DIR.mkdir(exist_ok=True)
     payload = {
-        "benchmark": "bench_stream",
+        "benchmark": STEM,
+        "algo": ALGO,
         "min_speedup_required": MIN_SPEEDUP,
         "cases": measurements,
     }
-    json_path = RESULTS_DIR / "bench_stream.json"
+    json_path = RESULTS_DIR / f"{STEM}.json"
     json_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"[json written to {json_path}]")
 

@@ -65,6 +65,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="algorithm to run (default: the paper's GPU algorithm)",
     )
     detect.add_argument(
+        "--algo",
+        choices=["louvain", "lpa", "leiden"],
+        default="louvain",
+        help="gpu solver algorithm: louvain (default), lpa (weighted "
+             "label propagation), or leiden (louvain + well-connectedness "
+             "refinement)",
+    )
+    detect.add_argument(
         "--engine",
         choices=["vectorized", "simulated", "sharded"],
         default="vectorized",
@@ -124,6 +132,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "existing edges (default 0.2)")
     stream.add_argument("--seed", type=int, default=0,
                         help="rng seed for --synthetic")
+    stream.add_argument(
+        "--algo",
+        choices=["louvain", "lpa", "leiden"],
+        default="louvain",
+        help="detection algorithm for the session (leiden refines every "
+             "contraction, fixing deletion-induced disconnected "
+             "communities; lpa = frontier-seeded label propagation)",
+    )
     stream.add_argument("--screening", choices=["local", "exact"], default="local",
                         help="delta-screening mode (exact = bit-parity with a "
                              "full warm-started run)")
@@ -279,17 +295,53 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _read_membership(path: str, num_vertices: int) -> np.ndarray:
-    """Read a 'vertex community' file (the detect -o format)."""
+    """Read and validate a 'vertex community' file (the detect -o format).
+
+    The engines require one label per vertex with labels inside
+    ``[0, num_vertices)``; a stale or foreign warm-start file easily
+    violates that (graph shrank, labels are external community ids).
+    Validation happens here at the boundary: a malformed line or a
+    vertex id outside the graph raises a :class:`ValueError` naming the
+    file and line, and labels outside ``[0, num_vertices)`` are
+    renumbered densely (preserving the partition) instead of failing
+    deep inside the engine.  Valid in-range labels pass through
+    untouched, so existing warm-start files keep their exact runs.
+
+    Unlisted vertices default to singleton communities of their own id.
+    """
     membership = np.arange(num_vertices, dtype=np.int64)
     with open(path) as handle:
-        for line in handle:
-            line = line.strip()
+        for lineno, raw in enumerate(handle, 1):
+            line = raw.strip()
             if not line or line.startswith("#"):
                 continue
-            vertex, community = line.split()[:2]
-            v = int(vertex)
-            if 0 <= v < num_vertices:
-                membership[v] = int(community)
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'vertex community', got {raw!r}"
+                )
+            try:
+                v = int(parts[0])
+                c = int(parts[1])
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{lineno}: expected integer 'vertex community', "
+                    f"got {raw!r}"
+                ) from None
+            if not 0 <= v < num_vertices:
+                raise ValueError(
+                    f"{path}:{lineno}: vertex {v} out of range for a graph "
+                    f"with {num_vertices} vertices"
+                )
+            membership[v] = c
+    if membership.size and (
+        membership.min() < 0 or membership.max() >= num_vertices
+    ):
+        # Out-of-range labels: renumber densely (first-seen-by-value
+        # order, deterministic) — the partition is preserved and every
+        # label lands in [0, num_vertices) as the engines require.
+        _, membership = np.unique(membership, return_inverse=True)
+        membership = membership.astype(np.int64)
     return membership
 
 
@@ -307,8 +359,16 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     if args.solver == "gpu":
         initial = None
         if args.warm_start:
-            initial = _read_membership(args.warm_start, graph.num_vertices)
+            try:
+                initial = _read_membership(args.warm_start, graph.num_vertices)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
         if args.engine == "sharded":
+            if args.algo != "louvain":
+                print("error: --engine sharded supports --algo louvain only",
+                      file=sys.stderr)
+                return 2
             from .shard import ShardConfig, sharded_louvain
 
             result = sharded_louvain(
@@ -327,56 +387,41 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                 tracer=tracer,
             )
         else:
-            from .core.gpu_louvain import gpu_louvain
+            from .core.config import GPULouvainConfig
+            from .core.engine import get_engine
 
-            result = gpu_louvain(
+            result = get_engine(args.algo).detect(
                 graph,
-                engine=args.engine,
+                GPULouvainConfig(
+                    engine=args.engine,
+                    threshold_bin=args.threshold_bin,
+                    threshold_final=args.threshold_final,
+                    bin_vertex_limit=args.bin_vertex_limit,
+                    resolution=args.resolution,
+                ),
+                initial_communities=initial,
+                tracer=tracer,
+            )
+    else:
+        # The reference solvers run behind the same Engine protocol.
+        from .core.config import GPULouvainConfig
+        from .core.engine import get_engine
+
+        options = {"devices": args.devices} if args.solver == "multigpu" else {}
+        result = get_engine(args.solver, **options).detect(
+            graph,
+            GPULouvainConfig(
                 threshold_bin=args.threshold_bin,
                 threshold_final=args.threshold_final,
                 bin_vertex_limit=args.bin_vertex_limit,
                 resolution=args.resolution,
-                initial_communities=initial,
-                tracer=tracer,
-            )
-    elif args.solver == "seq":
-        from .seq.louvain import louvain
-
-        result = louvain(graph, threshold=args.threshold_final)
-    elif args.solver == "plm":
-        from .parallel.plm import plm_louvain
-
-        result = plm_louvain(graph, threshold=args.threshold_final)
-    elif args.solver == "lu":
-        from .parallel.lu_openmp import lu_louvain
-
-        result = lu_louvain(
-            graph,
-            threshold_bin=args.threshold_bin,
-            threshold_final=args.threshold_final,
-            bin_vertex_limit=args.bin_vertex_limit,
-        )
-    elif args.solver == "coarse":
-        from .parallel.coarse import coarse_louvain
-
-        result = coarse_louvain(graph, threshold=args.threshold_final)
-    elif args.solver == "sort":
-        from .parallel.sortbased import sort_based_louvain
-
-        result = sort_based_louvain(graph, threshold=args.threshold_final)
-    else:  # multigpu
-        from .parallel.multigpu import multigpu_louvain
-
-        result = multigpu_louvain(
-            graph,
-            num_devices=args.devices,
-            threshold_bin=args.threshold_bin,
-            threshold_final=args.threshold_final,
-            bin_vertex_limit=args.bin_vertex_limit,
+            ),
         )
     seconds = time.perf_counter() - start
 
     print(f"solver:      {args.solver}")
+    if args.solver == "gpu" and args.algo != "louvain":
+        print(f"algo:        {args.algo}")
     print(f"modularity:  {result.modularity:.6f}")
     print(f"communities: {result.num_communities}")
     print(f"levels:      {result.num_levels}")
@@ -391,12 +436,18 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         # back to their RunTimings, so every solver emits the same shape.
         from .trace import report_from_result
 
+        extra = (
+            {"algo": args.algo}
+            if args.solver == "gpu" and args.algo != "louvain"
+            else {}
+        )
         report = report_from_result(
             result,
             tracer=tracer,
             solver=args.solver,
             engine=args.engine if args.solver == "gpu" else args.solver,
             graph=str(args.path),
+            **extra,
             num_vertices=graph.num_vertices,
             num_edges=graph.num_edges,
             seconds=round(seconds, 6),
@@ -507,10 +558,15 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         tracer = Tracer()
     initial = None
     if args.warm_start:
-        initial = _read_membership(args.warm_start, graph.num_vertices)
+        try:
+            initial = _read_membership(args.warm_start, graph.num_vertices)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     session = StreamSession(
         graph,
         tracer=tracer,
+        algo=args.algo,
         screening=args.screening,
         frontier_scope=args.frontier_scope,
         full_rerun_interval=args.full_rerun_interval,
@@ -521,6 +577,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         resolution=args.resolution,
         initial_membership=initial,
     )
+    if args.algo != "louvain":
+        print(f"algo: {args.algo}")
     print(f"initial: n={graph.num_vertices} E={graph.num_edges} "
           f"Q={session.modularity:.6f} "
           f"communities={session.result.num_communities}")
@@ -563,6 +621,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                     "graph": str(args.path),
                     "screening": args.screening,
                     "batches": session.batches,
+                    **({"algo": args.algo} if args.algo != "louvain" else {}),
                 },
                 "initial": (
                     session.initial_report.to_dict()

@@ -60,6 +60,7 @@ def gpu_louvain(
     config: GPULouvainConfig | None = None,
     *,
     initial_communities: np.ndarray | None = None,
+    refine=None,
     tracer: Tracer | NullTracer | None = None,
     **overrides,
 ) -> GPULouvainResult:
@@ -74,9 +75,19 @@ def gpu_louvain(
     graph, re-clustering from the previous membership converges in far
     fewer sweeps than from scratch.
 
+    ``refine`` is the Leiden-style well-connectedness hook — a callable
+    ``(graph, communities, tracer) -> refined_labels`` (see
+    :func:`~repro.core.refine.connected_refinement`).  When given, each
+    level contracts by the **refined** partition instead of the raw
+    optimisation outcome, so internally-disconnected communities become
+    separate contraction units the next level merges (or keeps apart)
+    on merit — and every reported community induces a connected
+    subgraph.  ``None`` (the default) is the paper's plain Louvain
+    pipeline, bit-identical to the pre-hook behaviour.
+
     ``tracer`` records the run as a span tree (``run`` → ``level`` →
-    ``optimization``/``aggregation`` → ``sweep``); tracing never alters
-    the computation, only observes it.
+    ``optimization``/[``refinement``]/``aggregation`` → ``sweep``);
+    tracing never alters the computation, only observes it.
     """
     if config is None:
         config = GPULouvainConfig(**overrides)
@@ -96,7 +107,7 @@ def gpu_louvain(
 
     tracer = as_tracer(tracer)
     if not tracer.enabled:
-        return _run(graph, config, initial_communities, tracer)
+        return _run(graph, config, initial_communities, tracer, refine)
     with tracer.span(
         "run",
         engine=config.engine,
@@ -104,7 +115,7 @@ def gpu_louvain(
         num_edges=graph.num_edges,
         warm_start=initial_communities is not None,
     ) as span:
-        result = _run(graph, config, initial_communities, tracer)
+        result = _run(graph, config, initial_communities, tracer, refine)
         span.count(
             modularity=result.modularity,
             num_levels=result.num_levels,
@@ -119,8 +130,16 @@ def _run(
     config: GPULouvainConfig,
     initial_communities: np.ndarray | None,
     tracer: Tracer | NullTracer,
+    refine=None,
 ) -> GPULouvainResult:
-    """:func:`gpu_louvain` body (config validated, tracer normalised)."""
+    """:func:`gpu_louvain` body (config validated, tracer normalised).
+
+    With a ``refine`` hook each level contracts by the refined
+    partition, and the level's Q describes that refined membership —
+    splitting a disconnected community never lowers Q (the pieces share
+    no edges, so only the null-model cross term goes away), so the
+    monotone stopping rule is unchanged.
+    """
     timings = RunTimings()
     profile = RunProfile() if config.engine == "simulated" else None
     cost_model = (
@@ -160,10 +179,13 @@ def _run(
             if level == 0:
                 first_phase_sweeps = outcome.sweeps
                 first_phase_seconds = stage.optimization_seconds
+            contract_by = outcome.communities
+            if refine is not None:
+                contract_by = refine(current, outcome.communities, tracer)
             with Stopwatch(stage, "aggregation_seconds"):
                 agg = aggregate_gpu(
                     current,
-                    outcome.communities,
+                    contract_by,
                     config,
                     cost_model=cost_model,
                     tracer=tracer,

@@ -33,7 +33,8 @@ import numpy as np
 
 from ..core.aggregate import aggregate_bincount, aggregate_gpu
 from ..core.config import GPULouvainConfig
-from ..core.gpu_louvain import GPULouvainResult, gpu_louvain
+from ..core.engine import ALGO_NAMES, get_engine
+from ..core.gpu_louvain import GPULouvainResult
 from ..core.mod_opt import (
     _partition_modularity,
     frontier_modularity_optimization,
@@ -82,6 +83,12 @@ class StreamConfig:
         When the seed frontier exceeds this fraction of the vertices the
         incremental path cannot win; the batch runs the full warm-started
         pipeline instead (``mode="full"``).
+    algo:
+        Detection algorithm (:func:`~repro.core.engine.get_engine`):
+        ``"louvain"`` (default — bit-identical to the pre-engine
+        sessions), ``"leiden"`` (well-connectedness refinement on every
+        contraction, full and incremental), or ``"lpa"`` (frontier-
+        seeded weighted label propagation).
     """
 
     louvain: GPULouvainConfig = field(default_factory=GPULouvainConfig)
@@ -89,8 +96,13 @@ class StreamConfig:
     frontier_scope: str = "community"
     full_rerun_interval: int = 0
     frontier_fraction_limit: float = 0.5
+    algo: str = "louvain"
 
     def __post_init__(self) -> None:
+        if self.algo not in ALGO_NAMES:
+            raise ValueError(
+                f"unknown algo: {self.algo!r} (expected one of {list(ALGO_NAMES)})"
+            )
         if self.screening not in ("local", "exact"):
             raise ValueError(f"unknown screening mode: {self.screening!r}")
         if self.frontier_scope not in ("community", "endpoints"):
@@ -130,6 +142,10 @@ class StreamConfig:
             "full_rerun_interval": self.full_rerun_interval,
             "frontier_fraction_limit": self.frontier_fraction_limit,
         }
+        if self.algo != "louvain":
+            # The default is omitted so pre-engine fingerprints (and the
+            # committed trajectory baselines keyed on them) stay stable.
+            meta["algo"] = self.algo
         for spec in dataclasses.fields(GPULouvainConfig):
             if spec.name in self._STRUCTURED_LOUVAIN_FIELDS:
                 continue
@@ -266,7 +282,8 @@ class StreamSession:
         self.tracer = as_tracer(tracer)
         self.reports: list[RunReport] = []
         self.initial_report: RunReport | None = None
-        result = gpu_louvain(
+        self._engine = get_engine(config.algo)
+        result = self._engine.detect(
             graph,
             config.louvain,
             initial_communities=initial_membership,
@@ -307,13 +324,15 @@ class StreamSession:
         ``config``, so a session resumed from the exact persisted state
         continues **bit-identically** to the uninterrupted original
         (property-tested).  ``membership`` defaults to
-        ``result.membership``; pass it explicitly when the session had
-        resynced to a full-audit clustering (``full_rerun_interval``),
-        where the two differ.
+        ``result.membership``; the parameter remains for snapshots
+        persisted before the ``full_rerun_interval`` resync kept
+        ``result`` consistent with the audited membership (the two
+        could then differ).
         """
         session = object.__new__(cls)
         session.config = config
         session.graph = graph
+        session._engine = get_engine(config.algo)
         session.batches = int(batches)
         session.tracer = as_tracer(tracer)
         session.reports = list(reports) if reports else []
@@ -468,7 +487,7 @@ class StreamSession:
         too_wide = frontier_fraction > cfg.frontier_fraction_limit
 
         if too_wide:
-            full = gpu_louvain(
+            full = self._engine.detect(
                 new_graph,
                 cfg.louvain,
                 initial_communities=self.membership,
@@ -493,15 +512,17 @@ class StreamSession:
                 q_full=full.modularity,
             )
             membership = full.membership
+            store = result
         else:
-            result = self._cluster_stream(new_graph, frontier)
+            result = self._engine.stream_batch(self, new_graph, frontier)
             result.batch = self.batches
             result.edges_added = edges_added
             result.edges_removed = edges_removed
             result.pairs_changed = pairs_changed
             membership = result.membership
+            store = result
             if full_due:
-                full = gpu_louvain(
+                full = self._engine.detect(
                     new_graph,
                     cfg.louvain,
                     initial_communities=self.membership,
@@ -518,18 +539,44 @@ class StreamSession:
                     result.membership, full.membership
                 )
                 # Resync: subsequent batches continue from the exact
-                # clustering; the returned result still describes the
-                # incremental computation (plus the comparison fields).
+                # clustering.  The *returned* result still describes the
+                # incremental computation (plus the comparison fields),
+                # but the session's own state must be internally
+                # consistent — ``self.result`` describing the streamed
+                # partition while ``self.membership`` holds the audited
+                # one would make ``session.modularity`` (and any state
+                # derived from the last result, e.g. the empty-batch
+                # copy) describe a partition the session no longer uses.
                 membership = full.membership
+                store = StreamResult(
+                    levels=full.levels,
+                    level_sizes=full.level_sizes,
+                    membership=full.membership,
+                    modularity=full.modularity,
+                    modularity_per_level=full.modularity_per_level,
+                    sweeps_per_level=full.sweeps_per_level,
+                    timings=full.timings,
+                    batch=self.batches,
+                    edges_added=edges_added,
+                    edges_removed=edges_removed,
+                    pairs_changed=pairs_changed,
+                    frontier_size=result.frontier_size,
+                    frontier_fraction=result.frontier_fraction,
+                    mode="full",
+                    full_rerun=True,
+                    q_full=full.modularity,
+                    nmi_vs_full=result.nmi_vs_full,
+                )
 
         self.graph = new_graph
         self.membership = membership
-        self.result = result
+        self.result = store
         result.seconds = perf_counter() - start
+        store.seconds = result.seconds
         return result
 
     def _cluster_stream(
-        self, graph: CSRGraph, frontier: np.ndarray
+        self, graph: CSRGraph, frontier: np.ndarray, refine=None
     ) -> StreamResult:
         """Incremental pipeline: frontier level 0, full coarser levels.
 
@@ -537,6 +584,13 @@ class StreamSession:
         (same thresholds, degenerate-level drop, and break conditions);
         under ``screening="exact"`` the per-level Q is computed exactly
         as there, so the two are bit-identical end to end.
+
+        ``refine`` is the engine's per-contraction hook (see
+        :class:`~repro.core.engine.Engine`): when given, every level
+        contracts by the refined partition, so the batch's membership is
+        well-connected by construction — the leiden fix for deletion
+        batches stranding disconnected fragments inside stale
+        communities.
         """
         cfg = self.config
         lcfg = cfg.louvain
@@ -582,14 +636,17 @@ class StreamSession:
                         outcome = modularity_optimization(
                             current, lcfg, threshold, tracer=tracer
                         )
+                contract_by = outcome.communities
+                if refine is not None:
+                    contract_by = refine(current, outcome.communities, tracer)
                 with Stopwatch(stage, "aggregation_seconds"):
                     if exact:
                         agg = aggregate_gpu(
-                            current, outcome.communities, lcfg, tracer=tracer
+                            current, contract_by, lcfg, tracer=tracer
                         )
                     else:
                         agg = aggregate_bincount(
-                            current, outcome.communities, lcfg, tracer=tracer
+                            current, contract_by, lcfg, tracer=tracer
                         )
 
                 no_contraction = agg.graph.num_vertices == current.num_vertices

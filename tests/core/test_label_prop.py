@@ -1,0 +1,147 @@
+"""Weighted GPU label propagation (repro.core.label_prop)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import GPULouvainConfig
+from repro.core.label_prop import LabelPropagationResult, label_propagation
+from repro.graph.build import from_edges
+from repro.graph.generators import caveman, karate_club, planted_partition
+from repro.metrics.modularity import modularity
+from repro.metrics.quality import adjusted_rand_index
+from repro.trace import Tracer
+
+
+def test_caveman_exact_recovery():
+    graph, truth = caveman(6, 8)
+    result = label_propagation(graph)
+    assert isinstance(result, LabelPropagationResult)
+    assert result.converged
+    assert adjusted_rand_index(result.membership, truth) == pytest.approx(1.0)
+
+
+def test_planted_partition_recovery():
+    graph, truth = planted_partition(4, 25, 0.7, 0.01, rng=0)
+    result = label_propagation(graph)
+    assert adjusted_rand_index(result.membership, truth) > 0.8
+
+
+def test_result_structure():
+    graph = karate_club()
+    result = label_propagation(graph)
+    n = graph.num_vertices
+    assert result.num_levels == 1
+    assert result.level_sizes == [(n, graph.num_edges)]
+    np.testing.assert_array_equal(result.levels[0], result.membership)
+    # membership is compacted: dense labels 0..k-1
+    labels = np.unique(result.membership)
+    np.testing.assert_array_equal(labels, np.arange(labels.size))
+    assert result.modularity == pytest.approx(
+        modularity(graph, result.membership)
+    )
+    assert result.modularity_per_level == [result.modularity]
+    assert len(result.sweeps_per_level) == 1
+    assert result.sweeps_per_level[0] >= 1
+
+
+@pytest.mark.parametrize("mode", ["async", "sync"])
+def test_deterministic(mode):
+    graph, _ = planted_partition(3, 20, 0.5, 0.05, rng=3)
+    first = label_propagation(graph, mode=mode)
+    second = label_propagation(graph, mode=mode)
+    np.testing.assert_array_equal(first.membership, second.membership)
+
+
+def test_tie_breaks_toward_smaller_label():
+    # Vertex 2 sees one unit edge to each side; both sides tie, and the
+    # strict-majority rule keeps it in place from singletons (its own
+    # label has weight 0 < 1, so it moves — to the smaller winner).
+    graph = from_edges([0, 1, 2, 3], [1, 2, 3, 4], num_vertices=5)
+    result = label_propagation(graph)
+    # deterministic either way; the partition must be reproducible
+    np.testing.assert_array_equal(
+        result.membership, label_propagation(graph).membership
+    )
+
+
+def test_warm_start_preserves_converged_partition():
+    graph, truth = caveman(5, 6)
+    converged = label_propagation(graph).membership
+    warm = label_propagation(graph, initial_communities=converged)
+    np.testing.assert_array_equal(warm.membership, converged)
+    assert warm.sweeps_per_level[0] == 1  # one confirming sweep
+
+
+def test_warm_start_validation():
+    graph, _ = caveman(3, 4)
+    with pytest.raises(ValueError):
+        label_propagation(graph, initial_communities=np.zeros(3, dtype=np.int64))
+    bad = np.full(graph.num_vertices, graph.num_vertices, dtype=np.int64)
+    with pytest.raises(ValueError):
+        label_propagation(graph, initial_communities=bad)
+
+
+def test_frontier_restricts_first_sweep():
+    graph, _ = caveman(4, 6)
+    converged = label_propagation(graph).membership
+    # a frontier seed on a converged partition finds nothing to move
+    result = label_propagation(
+        graph,
+        initial_communities=converged,
+        frontier=np.array([0, 1], dtype=np.int64),
+    )
+    np.testing.assert_array_equal(result.membership, converged)
+    # an empty frontier does no work at all
+    untouched = label_propagation(
+        graph,
+        initial_communities=converged,
+        frontier=np.array([], dtype=np.int64),
+    )
+    assert untouched.sweeps_per_level == [0]
+    np.testing.assert_array_equal(untouched.membership, converged)
+
+
+def test_sweep_cap_sets_converged_flag():
+    graph, _ = caveman(4, 6)
+    result = label_propagation(graph, config=GPULouvainConfig(max_sweeps_per_level=1))
+    assert result.sweeps_per_level == [1]
+    assert not result.converged
+
+
+def test_mode_validation_and_config_exclusivity():
+    graph = karate_club()
+    with pytest.raises(ValueError):
+        label_propagation(graph, mode="jacobi")
+    with pytest.raises(TypeError):
+        label_propagation(graph, config=GPULouvainConfig(), resolution=2.0)
+
+
+def test_self_loops_do_not_vote():
+    graph = from_edges([0, 1, 0], [1, 2, 0], [1.0, 1.0, 50.0], num_vertices=3)
+    result = label_propagation(
+        graph, initial_communities=np.array([0, 1, 1], dtype=np.int64)
+    )
+    # 0's only real neighbour votes for label 1 with weight 1 > 0; the
+    # 50-weight self-loop must not count as a vote for staying put.
+    assert result.converged
+    assert np.unique(result.membership).size == 1
+
+
+def test_empty_graph():
+    graph = from_edges([], [], num_vertices=0)
+    result = label_propagation(graph)
+    assert result.membership.size == 0
+    assert result.converged
+
+
+def test_traced_propagation_span():
+    graph, _ = caveman(3, 5)
+    tracer = Tracer()
+    result = label_propagation(graph, tracer=tracer)
+    spans = [s for s in tracer.roots if s.name == "propagation"]
+    assert len(spans) == 1
+    span = spans[0]
+    assert span.counters["sweeps"] == sum(result.sweeps_per_level)
+    assert span.counters["converged"] == 1
+    sweep_children = [c for c in span.children if c.name == "sweep"]
+    assert len(sweep_children) == sum(result.sweeps_per_level)

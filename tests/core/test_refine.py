@@ -1,0 +1,154 @@
+"""Leiden-style well-connectedness refinement (repro.core.refine)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.refine import (
+    RefinementOutcome,
+    connected_refinement,
+    count_disconnected,
+)
+from repro.graph.build import from_edges
+from repro.graph.generators import caveman, karate_club
+from repro.trace import Tracer
+
+from ..conftest import csr_graphs
+
+
+def _bfs_components_within(graph, comm):
+    """Reference: per-community connected components by BFS."""
+    n = graph.num_vertices
+    labels = np.full(n, -1, dtype=np.int64)
+    for start in range(n):
+        if labels[start] != -1:
+            continue
+        labels[start] = start
+        queue = [start]
+        while queue:
+            v = queue.pop()
+            for u in graph.neighbors(v):
+                if labels[u] == -1 and comm[u] == comm[v]:
+                    labels[u] = start
+                    queue.append(u)
+    return labels
+
+
+def _same_partition(a, b):
+    _, ia = np.unique(a, return_inverse=True)
+    _, ib = np.unique(b, return_inverse=True)
+    return np.array_equal(ia, ib)
+
+
+def test_connected_partition_is_unchanged():
+    graph, truth = caveman(4, 6)
+    outcome = connected_refinement(graph, truth)
+    assert isinstance(outcome, RefinementOutcome)
+    assert not outcome.changed
+    assert outcome.num_split == 0
+    assert outcome.num_refined == outcome.num_communities == 4
+    assert _same_partition(outcome.refined, truth)
+
+
+def test_disconnected_community_is_split():
+    # Path 0-1-2-3-4 with {0,1,3,4} sharing a label and the bridge
+    # vertex 2 in its own community: the shared community has two
+    # pieces, {0,1} and {3,4}.
+    graph = from_edges([0, 1, 2, 3], [1, 2, 3, 4], num_vertices=5)
+    comm = np.array([0, 0, 1, 0, 0])
+    outcome = connected_refinement(graph, comm)
+    assert outcome.changed
+    assert outcome.num_communities == 2
+    assert outcome.num_refined == 3
+    assert outcome.num_split == 1
+    refined = outcome.refined
+    assert refined[0] == refined[1]
+    assert refined[3] == refined[4]
+    assert refined[0] != refined[3]
+    assert refined[2] not in (refined[0], refined[3])
+    # min-member labels: valid vertex ids, usable as initial_communities
+    assert refined.min() >= 0 and refined.max() < 5
+    assert count_disconnected(graph, comm) == 1
+    assert count_disconnected(graph, refined) == 0
+
+
+def test_refined_labels_are_minimum_member_ids():
+    graph = from_edges([0, 1, 3, 4], [1, 2, 4, 5], num_vertices=6)
+    comm = np.zeros(6, dtype=np.int64)  # one label, two components
+    refined = connected_refinement(graph, comm).refined
+    np.testing.assert_array_equal(refined, [0, 0, 0, 3, 3, 3])
+
+
+def test_isolated_vertices_become_singletons():
+    graph = from_edges([0], [1], num_vertices=4)
+    comm = np.zeros(4, dtype=np.int64)
+    outcome = connected_refinement(graph, comm)
+    refined = outcome.refined
+    assert refined[0] == refined[1]
+    assert len({int(refined[0]), int(refined[2]), int(refined[3])}) == 3
+    assert outcome.num_split == 1
+
+
+def test_empty_graph():
+    graph = from_edges([], [], num_vertices=0)
+    outcome = connected_refinement(graph, np.array([], dtype=np.int64))
+    assert outcome.refined.size == 0
+    assert not outcome.changed
+
+
+def test_shape_validation():
+    graph, _ = caveman(3, 4)
+    with pytest.raises(ValueError):
+        connected_refinement(graph, np.zeros(5, dtype=np.int64))
+
+
+def test_traced_refinement_span():
+    graph = from_edges([0, 2], [1, 3], num_vertices=4)
+    tracer = Tracer()
+    outcome = connected_refinement(
+        graph, np.zeros(4, dtype=np.int64), tracer=tracer
+    )
+    assert outcome.changed
+    spans = [s for s in tracer.roots if s.name == "refinement"]
+    assert len(spans) == 1
+    counters = spans[0].counters
+    assert counters["num_communities"] == 1
+    assert counters["num_refined"] == 2
+    assert counters["num_split"] == 1
+
+
+def test_deterministic():
+    graph = karate_club()
+    comm = np.arange(34) % 3
+    first = connected_refinement(graph, comm)
+    second = connected_refinement(graph, comm)
+    np.testing.assert_array_equal(first.refined, second.refined)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), graph=csr_graphs(max_vertices=18, max_edges=50))
+def test_matches_bfs_reference(data, graph):
+    n = graph.num_vertices
+    if n == 0:
+        comm = np.array([], dtype=np.int64)
+    else:
+        comm = np.asarray(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=max(n - 1, 0)),
+                    min_size=n,
+                    max_size=n,
+                )
+            ),
+            dtype=np.int64,
+        )
+    outcome = connected_refinement(graph, comm)
+    expected = _bfs_components_within(graph, comm)
+    np.testing.assert_array_equal(outcome.refined, expected)
+    # refinement only subdivides: vertices sharing a refined label
+    # always shared a community label
+    if n:
+        for label in np.unique(outcome.refined):
+            members = np.flatnonzero(outcome.refined == label)
+            assert np.unique(comm[members]).size == 1

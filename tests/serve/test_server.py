@@ -3,7 +3,9 @@ coalescing, and the bit-identity acceptance test vs. an offline session."""
 
 from __future__ import annotations
 
+import json
 import threading
+from http.client import HTTPConnection
 
 import numpy as np
 import pytest
@@ -149,6 +151,75 @@ def test_error_codes(client):
             assert excinfo.value.status == 405
         else:
             assert excinfo.value.code == code
+
+
+def _raw_request(server, method, target, body):
+    """One request with a raw (possibly invalid) body; returns (status, json)."""
+    conn = HTTPConnection("127.0.0.1", server.port, timeout=30)
+    try:
+        conn.request(
+            method, target, body=body, headers={"Content-Type": "application/json"}
+        )
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def test_malformed_json_body_is_bad_request_envelope(server):
+    for body in (b"{not json", b"[1, 2, 3]", b'"just a string"'):
+        status, payload = _raw_request(server, "POST", "/v1/sessions", body)
+        assert status == 400, body
+        assert payload["error"]["code"] == "bad_request", body
+        assert payload["error"]["message"]
+
+
+def test_unknown_algo_on_create_is_bad_request_envelope(server, client):
+    with pytest.raises(ServeError) as excinfo:
+        client.create_session(
+            "w", generate={"family": "karate"}, config={"algo": "walktrap"}
+        )
+    assert excinfo.value.code == "bad_request"
+    assert "walktrap" in excinfo.value.message
+    # the documented envelope, not a 500
+    status, payload = _raw_request(
+        server,
+        "POST",
+        "/v1/sessions",
+        json.dumps(
+            {"name": "w2", "generate": {"family": "karate"},
+             "config": {"algo": "walktrap"}}
+        ).encode(),
+    )
+    assert status == 400
+    assert payload["error"]["code"] == "bad_request"
+    assert server.stats.errors >= 2
+
+
+@pytest.mark.parametrize("algo", ["leiden", "lpa"])
+def test_algo_flows_through_session_create(client, algo):
+    graph, _ = caveman(4, 6)
+    client.create_session(
+        "a", edges=_edges_payload(graph), config={"algo": algo}
+    )
+    offline = StreamSession(graph, StreamConfig(algo=algo))
+    np.testing.assert_array_equal(
+        _server_membership(client, "a", 24), offline.membership
+    )
+    result = client.batch("a", add=([0], [12], [2.0]))
+    offline_result = offline.apply(
+        add=(np.array([0]), np.array([12]), np.array([2.0]))
+    )
+    assert result["modularity"] == offline_result.modularity
+    report = client.report("a", which="initial")["report"]
+    assert report["meta"]["config"]["algo"] == algo
+    assert report["meta"]["fingerprint"] == offline.config.fingerprint()
+
+    # algo survives the snapshot/evict/restore round trip
+    client.evict("a")
+    np.testing.assert_array_equal(
+        _server_membership(client, "a", 24), offline.membership
+    )
 
 
 def test_stats_contract(client):

@@ -1,0 +1,225 @@
+"""Streaming through the Engine protocol: per-algo sessions, the leiden
+drift fix, and the audit-resync consistency regression (ISSUE satellites)."""
+
+import numpy as np
+import pytest
+
+from repro.core.refine import count_disconnected
+from repro.graph.build import from_edges
+from repro.graph.generators import caveman, road_grid
+from repro.metrics.modularity import modularity
+from repro.stream import StreamConfig, StreamSession
+
+
+def _barbell_with_appendage():
+    """Two K5 cliques bridged at 4-5, plus an appendage pair {10, 11}.
+
+    10 and 11 each attach to four clique-A vertices and to each other,
+    so the initial clustering folds them into A's community.  Removing
+    their clique edges (the streaming churn) strands {10, 11} as a
+    second connected component inside A's label — the drift shape the
+    leiden engine exists to repair.
+    """
+    us, vs = [], []
+    for base in (0, 5):
+        for i in range(5):
+            for j in range(i + 1, 5):
+                us.append(base + i)
+                vs.append(base + j)
+    us += [4, 10, 10, 10, 10, 11, 11, 11, 11, 10]
+    vs += [5, 0, 1, 2, 3, 1, 2, 3, 4, 11]
+    return from_edges(us, vs, num_vertices=12)
+
+
+_STRAND_REMOVE = (
+    [10, 10, 10, 10, 11, 11, 11, 11],
+    [0, 1, 2, 3, 1, 2, 3, 4],
+)
+
+
+# --------------------------------------------------------------------- #
+# The bugfix: leiden streaming repairs stranded fragments
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "limit, mode", [(1.0, "stream"), (0.05, "full")]
+)
+def test_leiden_stream_repairs_stranded_fragment(limit, mode):
+    graph = _barbell_with_appendage()
+    sessions = {
+        algo: StreamSession(
+            graph, StreamConfig(algo=algo, frontier_fraction_limit=limit)
+        )
+        for algo in ("louvain", "leiden")
+    }
+    # same starting point: both algos agree while everything is connected
+    np.testing.assert_array_equal(
+        sessions["louvain"].membership, sessions["leiden"].membership
+    )
+    results = {
+        algo: s.apply(remove=_STRAND_REMOVE) for algo, s in sessions.items()
+    }
+    assert results["louvain"].mode == mode
+    # louvain keeps {10, 11} under A's label with no connecting path
+    assert count_disconnected(
+        sessions["louvain"].graph, sessions["louvain"].membership
+    ) == 1
+    # leiden splits the fragment off — and gains modularity doing it
+    assert count_disconnected(
+        sessions["leiden"].graph, sessions["leiden"].membership
+    ) == 0
+    assert sessions["leiden"].modularity > sessions["louvain"].modularity
+    for s in sessions.values():
+        assert s.modularity == pytest.approx(
+            modularity(s.graph, s.membership), abs=1e-9
+        )
+
+
+def test_lpa_stream_batch():
+    graph, _ = caveman(5, 6)
+    session = StreamSession(
+        graph, StreamConfig(algo="lpa", frontier_fraction_limit=1.0)
+    )
+    result = session.apply(add=([0, 6], [9, 17], None))
+    assert result.mode == "stream"
+    assert result.frontier_size > 0
+    np.testing.assert_array_equal(result.membership, session.membership)
+    assert session.modularity == pytest.approx(
+        modularity(session.graph, session.membership), abs=1e-9
+    )
+
+
+@pytest.mark.parametrize("algo", ["louvain", "leiden", "lpa"])
+def test_stream_bit_deterministic_per_algo(algo):
+    graph, _ = caveman(6, 8)
+    config = StreamConfig(
+        algo=algo, full_rerun_interval=2, frontier_fraction_limit=1.0
+    )
+    batches = [
+        {"add": ([0, 8, 16], [9, 17, 25], None)},
+        {"add": ([1, 10], [12, 20], None), "remove": ([0], [9])},
+        {"add": ([2, 11], [13, 21], None)},
+    ]
+    first = StreamSession(graph, config)
+    second = StreamSession(graph, config)
+    for batch in batches:
+        a = first.apply(**batch)
+        b = second.apply(**batch)
+        np.testing.assert_array_equal(a.membership, b.membership)
+        assert a.modularity == b.modularity
+        assert a.mode == b.mode
+    np.testing.assert_array_equal(first.membership, second.membership)
+
+
+# --------------------------------------------------------------------- #
+# Satellite: the full_rerun_interval resync keeps session state
+# consistent — and a resumed session continues bit-identically.
+# --------------------------------------------------------------------- #
+def _grid_churn_batches(session, rng, count):
+    """Random add+remove churn batches on the session's current graph."""
+    batches = []
+    for _ in range(count):
+        n = session.graph.num_vertices
+        u = rng.integers(0, n, 10)
+        v = (u + rng.integers(1, n, 10)) % n
+        batches.append((u, v))
+    return batches
+
+
+def test_resync_keeps_session_state_consistent():
+    # road_grid is tie-heavy: local screening genuinely diverges from
+    # the warm full audit here (nmi_vs_full < 1), so the resync replaces
+    # the membership and the stored result must follow it.
+    rng = np.random.default_rng(21)
+    session = StreamSession(
+        road_grid(20, 20),
+        StreamConfig(
+            screening="local", full_rerun_interval=2,
+            frontier_fraction_limit=1.0,
+        ),
+    )
+    diverged = False
+    for _ in range(6):
+        n = session.graph.num_vertices
+        u = rng.integers(0, n, 10)
+        v = (u + rng.integers(1, n, 10)) % n
+        pu, pv, _ = session.graph.edge_list(unique=True)
+        keep = pu != pv
+        pu, pv = pu[keep], pv[keep]
+        idx = rng.choice(pu.size, size=12, replace=False)
+        result = session.apply(add=(u, v, None), remove=(pu[idx], pv[idx]))
+        if result.nmi_vs_full is not None:
+            assert result.mode == "stream+full"
+            assert result.full_rerun
+            diverged = diverged or result.nmi_vs_full < 1.0
+            # the returned result still describes the incremental
+            # computation; the *session* must hold the audited state
+            assert session.result.full_rerun
+            assert session.result.mode == "full"
+        # invariant after every batch, audited or not: the stored
+        # result, membership and reported modularity agree
+        np.testing.assert_array_equal(
+            session.result.membership, session.membership
+        )
+        assert session.modularity == pytest.approx(
+            modularity(session.graph, session.membership), abs=1e-9
+        )
+    assert diverged, "scenario no longer diverges; pick a new seed"
+
+
+def test_batch_after_resync_matches_resumed_session():
+    # Stream past an audit that resyncs, then resume a fresh session
+    # from the stored state alone (membership defaulting from
+    # result.membership): the next batch must be bit-identical.
+    rng = np.random.default_rng(21)
+    config = StreamConfig(
+        screening="local", full_rerun_interval=2, frontier_fraction_limit=1.0
+    )
+    session = StreamSession(road_grid(20, 20), config)
+    audited = False
+    for _ in range(4):
+        n = session.graph.num_vertices
+        u = rng.integers(0, n, 10)
+        v = (u + rng.integers(1, n, 10)) % n
+        pu, pv, _ = session.graph.edge_list(unique=True)
+        keep = pu != pv
+        pu, pv = pu[keep], pv[keep]
+        idx = rng.choice(pu.size, size=12, replace=False)
+        result = session.apply(add=(u, v, None), remove=(pu[idx], pv[idx]))
+        audited = audited or result.full_rerun
+    assert audited
+
+    fresh = StreamSession.resume(
+        session.graph,
+        config,
+        result=session.result,
+        batches=session.batches,
+    )
+    np.testing.assert_array_equal(fresh.membership, session.membership)
+    n = session.graph.num_vertices
+    u = rng.integers(0, n, 10)
+    v = (u + rng.integers(1, n, 10)) % n
+    a = session.apply(add=(u, v, None))
+    b = fresh.apply(add=(u, v, None))
+    np.testing.assert_array_equal(a.membership, b.membership)
+    assert a.modularity == b.modularity
+    assert a.mode == b.mode
+    np.testing.assert_array_equal(fresh.membership, session.membership)
+
+
+# --------------------------------------------------------------------- #
+# Config plumbing
+# --------------------------------------------------------------------- #
+def test_algo_config_validation_and_meta():
+    with pytest.raises(ValueError, match="unknown algo"):
+        StreamConfig(algo="walktrap")
+    # the default is omitted from meta so pre-engine fingerprints (and
+    # the committed trajectory baselines) stay stable
+    assert "algo" not in StreamConfig().to_meta()
+    meta = StreamConfig(algo="leiden").to_meta()
+    assert meta["algo"] == "leiden"
+    assert StreamConfig.from_dict(meta).algo == "leiden"
+    assert StreamConfig.from_dict(StreamConfig().to_meta()).algo == "louvain"
+    fingerprints = {
+        StreamConfig(algo=a).fingerprint() for a in ("louvain", "leiden", "lpa")
+    }
+    assert len(fingerprints) == 3

@@ -83,6 +83,32 @@ def test_top_k_ties_break_toward_smaller_label():
             assert labels[i] < labels[i + 1]
 
 
+def test_top_k_volume_ties_break_toward_smaller_label():
+    # Two disjoint unit-weight triangles: both communities have volume
+    # 6.0 exactly, so the ranking is decided purely by the tie-break.
+    from repro.graph import from_edges
+
+    graph = from_edges(
+        [0, 1, 0, 3, 4, 3], [1, 2, 2, 4, 5, 5], num_vertices=6
+    )
+    session = StreamSession(graph, StreamConfig())
+    top = session.top_k_communities(10, by="volume")
+    assert [v for _, v in top] == [6.0, 6.0]
+    labels = [c for c, _ in top]
+    assert labels == sorted(labels)  # equal volume -> smaller label first
+    # deterministic: repeated calls return the identical ranking
+    assert session.top_k_communities(10, by="volume") == top
+    assert session.top_k_communities(1, by="volume") == top[:1]
+
+
+def test_members_on_absent_label(session):
+    absent = int(session.membership.max()) + 7
+    members = session.members(absent)
+    assert isinstance(members, np.ndarray)
+    assert members.shape == (0,)
+    assert session.members(-1).shape == (0,)
+
+
 @settings(max_examples=30, deadline=None)
 @given(graph=csr_graphs(max_vertices=16, max_edges=40, min_edges=1))
 def test_queries_consistent_on_random_graphs(graph):

@@ -161,6 +161,106 @@ def test_detect_warm_start_roundtrip(karate_file, capsys, tmp_path):
     assert "modularity:  0.4" in out
 
 
+def test_read_membership_validates_and_renumbers(tmp_path):
+    import numpy as np
+
+    from repro.cli import _read_membership
+
+    path = tmp_path / "m.txt"
+    # valid in-range labels pass through untouched (exact warm starts)
+    path.write_text("# header\n0 2\n1 2\n2 0\n")
+    np.testing.assert_array_equal(_read_membership(str(path), 4), [2, 2, 0, 3])
+    # out-of-range labels renumber densely, preserving the partition
+    path.write_text("0 100\n1 100\n2 -5\n3 7\n")
+    renumbered = _read_membership(str(path), 4)
+    assert renumbered[0] == renumbered[1]
+    assert len({int(renumbered[0]), int(renumbered[2]), int(renumbered[3])}) == 3
+    assert renumbered.min() >= 0 and renumbered.max() < 4
+    # renumbering is deterministic
+    np.testing.assert_array_equal(renumbered, _read_membership(str(path), 4))
+
+
+def test_warm_start_renumbers_out_of_range_labels(karate_file, capsys, tmp_path):
+    membership_path = tmp_path / "m.txt"
+    assert main(["detect", karate_file, "-o", str(membership_path)]) == 0
+    capsys.readouterr()
+    assert main(["detect", karate_file, "--warm-start", str(membership_path)]) == 0
+    baseline = capsys.readouterr().out
+    # Shift every label by +100000: same partition, labels far outside
+    # [0, n) — the boundary renumbers instead of crashing the engine.
+    shifted = tmp_path / "shifted.txt"
+    rows = [
+        f"{line.split()[0]} {int(line.split()[1]) + 100000}"
+        for line in membership_path.read_text().splitlines()
+        if not line.startswith("#")
+    ]
+    shifted.write_text("\n".join(rows) + "\n")
+    assert main(["detect", karate_file, "--warm-start", str(shifted)]) == 0
+    out = capsys.readouterr().out
+    # same partition in -> bit-identical clustering out
+    q_line = next(l for l in baseline.splitlines() if "modularity" in l)
+    assert q_line in out
+
+
+def test_warm_start_rejects_bad_files(karate_file, capsys, tmp_path):
+    cases = [
+        ("999999 0\n", "vertex 999999 out of range"),
+        ("0\n", "expected 'vertex community'"),
+        ("0 notanumber\n", "expected integer"),
+    ]
+    for content, fragment in cases:
+        bad = tmp_path / "bad.txt"
+        bad.write_text(content)
+        assert main(["detect", karate_file, "--warm-start", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert fragment in err
+        assert "bad.txt:1" in err
+    # the stream warm-start call site shares the same boundary
+    bad = tmp_path / "bad.txt"
+    bad.write_text("999999 0\n")
+    assert main(
+        ["stream", karate_file, "--synthetic", "4", "--batches", "1",
+         "--warm-start", str(bad)]
+    ) == 2
+    assert "out of range" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("algo", ["lpa", "leiden"])
+def test_detect_algo_flag(karate_file, capsys, algo):
+    assert main(["detect", karate_file, "--algo", algo]) == 0
+    out = capsys.readouterr().out
+    assert f"algo:        {algo}" in out
+    assert "modularity:" in out
+
+
+def test_detect_algo_louvain_output_unchanged(karate_file, capsys):
+    assert main(["detect", karate_file]) == 0
+    default = capsys.readouterr().out
+    assert main(["detect", karate_file, "--algo", "louvain"]) == 0
+    explicit = capsys.readouterr().out
+    assert "algo:" not in default
+    keep = lambda text: [l for l in text.splitlines() if "seconds" not in l]  # noqa: E731
+    assert keep(default) == keep(explicit)
+
+
+def test_detect_algo_rejects_sharded_engine(karate_file, capsys):
+    assert main(
+        ["detect", karate_file, "--engine", "sharded", "--algo", "lpa"]
+    ) == 2
+    assert "supports --algo louvain only" in capsys.readouterr().err
+
+
+def test_stream_algo_flag(karate_file, capsys):
+    assert main(
+        ["stream", karate_file, "--synthetic", "8", "--batches", "2",
+         "--seed", "1", "--algo", "leiden"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "algo: leiden" in out
+    assert "final:" in out
+
+
 def test_main_module_help():
     import subprocess
     import sys
