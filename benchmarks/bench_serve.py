@@ -34,8 +34,9 @@ import pytest
 from repro.bench.reporting import banner, format_table
 from repro.graph.generators import social_network
 from repro.serve import ReproServer, ServeClient, ServeConfig, SessionManager
+from repro.trace import RunReport, Span
 
-from _util import RESULTS_DIR, emit
+from _util import RESULTS_DIR, emit, emit_report
 
 #: Concurrent clients per burst.
 BURSTS = (1, 4, 8, 16, 32)
@@ -182,6 +183,40 @@ def test_serve_throughput(measurements):
         json.dumps(payload, indent=2) + "\n"
     )
     print(f"[json written to {RESULTS_DIR / 'bench_serve.json'}]")
+
+    # Feed the perf-trajectory store so `repro trajectory` can plot serve
+    # throughput over commits and `repro bench-gate --current` guards it.
+    # One report per (coalescing, burst) cell; burst/coalesce live in the
+    # meta so each cell fingerprints to its own trajectory key.
+    reports = []
+    for row in measurements:
+        mode = "coalesce" if row["coalesce"] else "serial"
+        reports.append(RunReport(
+            meta={
+                "graph": f"serve-social-{GRAPH_N}x{GRAPH_M}",
+                "engine": f"serve-{mode}",
+                "burst": row["burst"],
+                "rounds": ROUNDS,
+            },
+            result={
+                "requests": row["requests"],
+                "applies": row["applies"],
+                "rps": row["rps"],
+                "p99_ms": row["p99_ms"],
+                "per_edge_apply_ms": row["per_edge_apply_ms"],
+            },
+            spans=[Span(
+                "run",
+                attributes={"engine": f"serve-{mode}", "burst": row["burst"]},
+                counters={
+                    "requests": row["requests"],
+                    "applies": row["applies"],
+                    "coalesced": row["requests"] - row["applies"],
+                },
+                seconds=row["wall_seconds"],
+            )],
+        ))
+    emit_report("bench_serve", reports, trajectory=True)
 
 
 def test_coalescing_reduces_per_edge_apply_cost(measurements):

@@ -10,7 +10,10 @@ documented lifecycle over the wire with :class:`repro.serve.ServeClient`:
 4. RunReport retrieval with the config fingerprint,
 5. snapshot + evict, then a query that transparently restores,
 6. error-code checks (404 / 409 / 400 paths),
-7. delete, shutdown, and a clean subprocess exit.
+7. /v1/metrics scrape — required series present with sane values,
+8. delete, shutdown, and a clean subprocess exit,
+9. every structured log line the server emitted validates against the
+   ``repro.log/1`` schema, with session_created / batch_applied present.
 
 Exits 0 on success; any assertion or protocol error is fatal.  Run from
 the repository root: ``python scripts/serve_smoke.py``.
@@ -18,6 +21,7 @@ the repository root: ``python scripts/serve_smoke.py``.
 
 from __future__ import annotations
 
+import json
 import os
 import re
 import subprocess
@@ -28,7 +32,45 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
+from repro.obs.logs import validate_log_line  # noqa: E402
 from repro.serve import ServeClient, ServeError  # noqa: E402
+
+#: Series the scrape must expose after the mixed workload above.
+REQUIRED_SERIES = (
+    "repro_serve_requests_total",
+    "repro_serve_request_seconds_bucket",
+    "repro_serve_batch_requests_total",
+    "repro_serve_applies_total",
+    "repro_serve_coalesced_requests_total",
+    "repro_serve_coalesce_fold_ratio",
+    "repro_serve_apply_seconds_bucket",
+    "repro_serve_queue_depth",
+    "repro_serve_workers_busy",
+    "repro_serve_sessions_created_total",
+    "repro_serve_sessions_restored_total",
+    "repro_serve_sessions_evicted_total",
+    "repro_serve_snapshots_total",
+    "repro_serve_sessions_resident",
+    "repro_serve_resident_bytes",
+    "repro_serve_errors_total",
+    "repro_stream_batch_seconds_bucket",
+    "repro_stream_frontier_fraction",
+)
+
+
+def series_value(text: str, name: str, **labels: str) -> float:
+    """The value of one exposition line (label order-insensitive)."""
+    for line in text.splitlines():
+        if not line.startswith(name) or line.startswith("#"):
+            continue
+        metric, _, value = line.rpartition(" ")
+        base, _, label_str = metric.partition("{")
+        if base != name:
+            continue
+        have = dict(re.findall(r'(\w+)="([^"]*)"', label_str))
+        if all(have.get(k) == v for k, v in labels.items()):
+            return float(value)
+    raise AssertionError(f"series {name} {labels} not found in exposition")
 
 
 def expect_error(code: str, fn) -> None:
@@ -51,15 +93,28 @@ def main() -> int:
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
         cwd=REPO,
     )
+    captured: list[str] = []
     try:
-        line = proc.stdout.readline()
-        match = re.search(r"http://([\d.]+):(\d+)", line)
-        assert match, f"no listen line from server, got: {line!r}"
+        # Structured JSON log lines (stderr) interleave with the listen
+        # banner (stdout) in the merged pipe; scan until the banner.
+        match = None
+        for _ in range(50):
+            line = proc.stdout.readline()
+            if not line:
+                break
+            captured.append(line)
+            match = re.search(r"http://([\d.]+):(\d+)", line)
+            if match:
+                break
+        assert match, f"no listen line from server, got: {captured!r}"
         port = int(match.group(2))
         print(f"server up on port {port}")
 
         client = ServeClient(port=port)
-        assert client.health()
+        health = client.health()
+        assert health == {"ok": True, "status": "ready"}, health
+        assert client.health(live=True) == {"ok": True, "status": "alive"}
+        print("health ok: ready; liveness probe alive")
 
         # 1. two sessions
         left = client.create_session(
@@ -131,13 +186,62 @@ def main() -> int:
         expect_error("invalid_batch",
                      lambda: client.batch("left", remove=([0], [59])))
 
-        # 7. delete and clean shutdown
+        # 7. metrics scrape: required series exist with sane values
+        text = client.metrics()
+        for series in REQUIRED_SERIES:
+            assert series in text, f"missing series {series}"
+        # 7 batch requests: 6 applied + the invalid_batch rejection, which
+        # is counted on enqueue but never becomes an apply.
+        assert series_value(text, "repro_serve_batch_requests_total") == 7
+        assert series_value(text, "repro_serve_sessions_created_total") == 2
+        assert series_value(text, "repro_serve_sessions_restored_total") == 1
+        assert series_value(text, "repro_serve_sessions_evicted_total") == 1
+        assert series_value(text, "repro_serve_snapshots_total") >= 1
+        assert series_value(text, "repro_serve_sessions_resident") == 2
+        assert series_value(text, "repro_serve_resident_bytes") > 0
+        assert series_value(
+            text, "repro_serve_errors_total", code="session_not_found") == 1
+        assert series_value(
+            text, "repro_serve_apply_seconds_count", session="left") >= 1
+        applies = series_value(text, "repro_serve_applies_total")
+        coalesced = series_value(text, "repro_serve_coalesced_requests_total")
+        assert applies + coalesced == 6, (applies, coalesced)
+        assert series_value(
+            text, "repro_serve_requests_total",
+            route="session/batch", method="POST") == 7
+        print(f"metrics ok: {len(REQUIRED_SERIES)} required series, "
+              f"{applies:.0f} applies + {coalesced:.0f} coalesced")
+
+        # 8. delete and clean shutdown
         client.delete("right")
         assert [r["name"] for r in client.list_sessions()] == ["left"]
         client.shutdown()
         code = proc.wait(timeout=15)
         assert code == 0, f"server exited {code}"
         print("clean shutdown: exit 0")
+
+        # 9. every structured log line validates against repro.log/1
+        captured.extend(proc.stdout.readlines())
+        records = []
+        for line in captured:
+            line = line.strip()
+            if not line.startswith("{"):
+                continue  # human-readable banner lines
+            record = json.loads(line)
+            problems = validate_log_line(record)
+            assert not problems, (problems, record)
+            records.append(record)
+        events = [r["event"] for r in records]
+        for required in ("server_started", "session_created",
+                         "batch_applied", "snapshot_written",
+                         "session_evicted", "request_error",
+                         "session_deleted", "server_stopping"):
+            assert required in events, f"missing log event {required}"
+        applied = next(r for r in records if r["event"] == "batch_applied")
+        assert applied["span_path"].startswith("batch[")
+        assert applied["cids"], "batch_applied lost its correlation ids"
+        print(f"logs ok: {len(records)} lines validate, "
+              f"{len(set(events))} distinct events")
         print("SERVE SMOKE OK")
         return 0
     finally:

@@ -8,6 +8,7 @@ Commands
 ``generate``  synthesise a graph from one of the generator families
 ``suite``     list or materialise the Table-1 analog benchmark suite
 ``serve``     multi-tenant detection-as-a-service HTTP server
+``top``       live dashboard over a running serve instance
 
 Trace analytics (:mod:`repro.obs`)
 ----------------------------------
@@ -206,6 +207,30 @@ def build_parser() -> argparse.ArgumentParser:
                             "folding queued bursts into one apply")
     serve.add_argument("--no-trace", action="store_true",
                        help="do not attach tracers (disables /report retrieval)")
+    serve.add_argument("--no-metrics", action="store_true",
+                       help="disable the metrics registry and GET /v1/metrics")
+    serve.add_argument("--slow-request-ms", type=float, default=1000.0,
+                       help="log a warning for requests slower than this "
+                            "(default 1000 ms)")
+    serve.add_argument("--log-level", default="info",
+                       choices=("debug", "info", "warning", "error", "off"),
+                       help="structured JSON log level on stderr (default info)")
+
+    top = sub.add_parser(
+        "top", help="live dashboard over a running repro.serve server"
+    )
+    top.add_argument("--host", default="127.0.0.1",
+                     help="server address (default 127.0.0.1)")
+    top.add_argument("--port", type=int, default=8077,
+                     help="server port (default 8077)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between polls (default 2)")
+    top.add_argument("--count", type=int, default=0,
+                     help="stop after N frames (default: until interrupted)")
+    top.add_argument("--once", action="store_true",
+                     help="print one frame without clearing the screen")
+    top.add_argument("--json", action="store_true",
+                     help="dump the raw /v1/stats payload once and exit")
 
     summary = sub.add_parser(
         "trace-summary", help="analyze a repro.trace/1 JSON file"
@@ -712,6 +737,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
+    from .obs.logs import StructuredLogger
     from .serve import ReproServer, ServeConfig, SessionManager
 
     manager = SessionManager(
@@ -721,11 +747,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             snapshot_dir=args.snapshot_dir,
             trace=not args.no_trace,
             coalesce=not args.no_coalesce,
+            metrics=not args.no_metrics,
+            slow_request_seconds=args.slow_request_ms / 1000.0,
         )
+    )
+    logger = (
+        None
+        if args.log_level == "off"
+        else StructuredLogger("repro.serve", stream=sys.stderr,
+                              level=args.log_level)
     )
     server = ReproServer(
         manager, host=args.host, port=args.port,
-        coalesce=not args.no_coalesce,
+        coalesce=not args.no_coalesce, logger=logger,
     )
     signal.signal(signal.SIGTERM, lambda *_: server.request_shutdown())
 
@@ -738,6 +772,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server.run(ready=ready)
     print("repro.serve stopped", flush=True)
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .serve.top import run_top
+
+    return run_top(
+        host=args.host,
+        port=args.port,
+        interval=args.interval,
+        count=args.count,
+        once=args.once,
+        as_json=args.json,
+    )
 
 
 def _cmd_trace_summary(args: argparse.Namespace) -> int:
@@ -896,6 +943,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_suite(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "trace-summary":
         return _cmd_trace_summary(args)
     if args.command == "trace-diff":

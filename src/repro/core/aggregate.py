@@ -101,6 +101,14 @@ def _annotate_aggregation(span, graph: CSRGraph, outcome: "AggregationOutcome") 
         ),
         used_edge_slots=sum(k.used_edge_slots for k in outcome.profile.kernels),
     )
+    issued = sum(k.issued_thread_cycles for k in outcome.profile.kernels)
+    if issued > 0:  # simulated engine only; vectorized spans stay unchanged
+        span.count(
+            active_thread_cycles=sum(
+                k.active_thread_cycles for k in outcome.profile.kernels
+            ),
+            issued_thread_cycles=issued,
+        )
 
 
 def aggregate_gpu(

@@ -235,6 +235,14 @@ def _run(
     membership = flatten_levels(levels)
     simulated_seconds = None
     simulated_transfer_seconds = None
+    if profile is not None:
+        # Publish device stats as live gauges.  Lazy import: repro.obs
+        # pulls the bench/analyze stack, which imports this module.
+        from ..obs.metrics import get_registry
+
+        registry = get_registry()
+        if registry.enabled:
+            profile.record_metrics(registry)
     if profile is not None and cost_model is not None:
         launches = sum(
             len(p.kernels) for p in [*profile.optimization, *profile.aggregation]

@@ -171,6 +171,22 @@ def _sweep_internal_delta(
     return 2.0 * float(diff.sum()) - float(diff[mm].sum())
 
 
+def _count_thread_cycles(span, profile) -> None:
+    """Thread-occupancy counters for simulated-engine spans.
+
+    The vectorized path launches no simulated kernels (``issued`` stays
+    0), so its spans are byte-identical to the pre-counter behaviour.
+    """
+    issued = sum(k.issued_thread_cycles for k in profile.kernels)
+    if issued > 0:
+        span.count(
+            active_thread_cycles=sum(
+                k.active_thread_cycles for k in profile.kernels
+            ),
+            issued_thread_cycles=issued,
+        )
+
+
 def modularity_optimization(
     graph: CSRGraph,
     config: GPULouvainConfig,
@@ -204,6 +220,7 @@ def modularity_optimization(
             max_q_drift=profile.max_q_drift,
             modularity=outcome.modularity,
         )
+        _count_thread_cycles(span, profile)
     return outcome
 
 
@@ -500,6 +517,7 @@ def frontier_modularity_optimization(
             frontier_initial=outcome.frontier_initial,
             scored_total=outcome.scored_total,
         )
+        _count_thread_cycles(span, profile)
     return outcome
 
 

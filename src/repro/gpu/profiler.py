@@ -164,3 +164,27 @@ class RunProfile:
                 issued += k.issued_thread_cycles
                 active += k.active_thread_cycles
         return min(1.0, active / issued) if issued > 0 else 0.0
+
+    def edge_slot_utilisation(self) -> float:
+        """Used / allocated contraction edge slots over the whole run."""
+        allocated = used = 0
+        for phase in self.aggregation:
+            for k in phase.kernels:
+                allocated += k.allocated_edge_slots
+                used += k.used_edge_slots
+        return used / allocated if allocated > 0 else 0.0
+
+    def record_metrics(self, registry) -> None:
+        """Publish run-level device stats as gauges.
+
+        ``registry`` is a :class:`~repro.obs.metrics.MetricsRegistry`
+        (duck-typed — this module stays free of repro imports).
+        """
+        registry.gauge(
+            "repro_gpu_active_thread_fraction",
+            "Active / issued thread cycles of the last simulated run.",
+        ).set(self.active_thread_fraction())
+        registry.gauge(
+            "repro_gpu_edge_slot_utilisation",
+            "Used / allocated contraction edge slots of the last simulated run.",
+        ).set(self.edge_slot_utilisation())

@@ -12,12 +12,36 @@ PR 3 made every engine *emit* span trees; this package *consumes* them:
   (``BENCH_trajectory.json``) keyed by (graph, engine, config
   fingerprint, commit);
 * :mod:`repro.obs.gate` — the regression gate CI runs via
-  ``python -m repro bench-gate``.
+  ``python -m repro bench-gate``;
+* :mod:`repro.obs.metrics` — the *runtime* half: a dependency-free
+  Prometheus-style registry (counters / gauges / histograms) the serve,
+  stream, shard and gpu layers record into, exposed as
+  ``GET /v1/metrics``;
+* :mod:`repro.obs.logs` — structured JSON logging (``repro.log/1``)
+  with per-request/per-batch correlation ids tying log lines to trace
+  span paths.
 
 CLI verbs: ``repro trace-summary``, ``repro trace-diff``,
 ``repro trajectory``, ``repro bench-gate``.
 """
 
+from .logs import (
+    LOG_SCHEMA,
+    NULL_LOGGER,
+    StructuredLogger,
+    correlation,
+    current_correlation_id,
+    new_correlation_id,
+    validate_log_line,
+)
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+)
 from .analyze import (
     LevelMetrics,
     PathAggregate,
@@ -51,6 +75,21 @@ from .trajectory import (
 )
 
 __all__ = [
+    # metrics
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+    "get_registry",
+    "set_registry",
+    # logs
+    "LOG_SCHEMA",
+    "StructuredLogger",
+    "NULL_LOGGER",
+    "correlation",
+    "current_correlation_id",
+    "new_correlation_id",
+    "validate_log_line",
     # analyze
     "PathAggregate",
     "span_component",

@@ -142,6 +142,12 @@ class LevelMetrics:
     #: Peak sweep frontier as a fraction of the level's vertices
     #: (0 for non-streamed runs, which record no frontier).
     frontier_fraction: float
+    #: Active / issued thread cycles across the level's kernels
+    #: (simulated engine only; 0 where no thread cycles were recorded).
+    active_thread_fraction: float = 0.0
+    #: Used / allocated contraction edge slots of the aggregation
+    #: (0 for contraction paths that record no slots, e.g. bincount).
+    edge_slot_utilisation: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -186,6 +192,14 @@ def level_metrics(report: RunReport) -> list[LevelMetrics]:
                         )
             q = level.counters.get("modularity")
             probes = float(agg_c.get("hash_probes", 0))
+            issued = float(opt_c.get("issued_thread_cycles", 0)) + float(
+                agg_c.get("issued_thread_cycles", 0)
+            )
+            active = float(opt_c.get("active_thread_cycles", 0)) + float(
+                agg_c.get("active_thread_cycles", 0)
+            )
+            allocated_slots = float(agg_c.get("allocated_edge_slots", 0))
+            used_slots = float(agg_c.get("used_edge_slots", 0))
             rows.append(
                 LevelMetrics(
                     level=int(level.attributes.get("level", len(rows))),
@@ -200,6 +214,12 @@ def level_metrics(report: RunReport) -> list[LevelMetrics]:
                     moves_per_sweep=moved / sweeps if sweeps > 0 else 0.0,
                     probe_mrate=(probes / agg_s / 1e6) if agg_s > 0 else 0.0,
                     frontier_fraction=frontier_peak / n if n > 0 else 0.0,
+                    active_thread_fraction=(
+                        min(1.0, active / issued) if issued > 0 else 0.0
+                    ),
+                    edge_slot_utilisation=(
+                        used_slots / allocated_slots if allocated_slots > 0 else 0.0
+                    ),
                 )
             )
     return rows
@@ -223,13 +243,18 @@ def stage_table(report: RunReport) -> str:
                 f"{m.moves_per_sweep:.1f}",
                 f"{m.probe_mrate:.2f}",
                 f"{m.frontier_fraction:.1%}",
+                "-" if m.active_thread_fraction <= 0 else
+                f"{m.active_thread_fraction:.0%}",
+                "-" if m.edge_slot_utilisation <= 0 else
+                f"{m.edge_slot_utilisation:.0%}",
                 "-" if m.modularity is None else f"{m.modularity:.4f}",
             )
         )
     return format_table(
         (
             "level", "n", "E", "sweeps", "moved", "opt ms", "agg ms",
-            "opt%", "MTEPS", "mv/swp", "probes M/s", "front%", "Q",
+            "opt%", "MTEPS", "mv/swp", "probes M/s", "front%", "act%",
+            "slot%", "Q",
         ),
         rows,
     )

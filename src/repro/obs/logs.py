@@ -1,0 +1,235 @@
+"""Structured JSON logging with correlation ids (``repro.log/1``).
+
+One event per line, one JSON object per line.  Every record carries:
+
+``schema``
+    Always ``"repro.log/1"``.
+``ts``
+    Unix timestamp (float seconds).
+``level``
+    ``"debug" | "info" | "warning" | "error"``.
+``logger``
+    Dotted component name (``repro.serve``, ``repro.stream`` …).
+``event``
+    Machine-readable event name (``batch_applied``, ``slow_request`` …).
+``cid`` *(optional)*
+    Correlation id.  The serve layer mints one per HTTP request
+    (``req-<12 hex>``); batch requests carry theirs into the apply
+    worker, so the ``batch_applied`` line lists every folded request's
+    cid next to the trace span path (``span_path: "batch[N]"``) of the
+    ``repro.trace/1`` report that recorded the same apply.  That triple
+    — cid ↔ log line ↔ span path — is what ties runtime logs to offline
+    traces.
+
+Arbitrary extra fields ride along at the top level (JSON scalars, lists
+and dicts; non-finite floats are stringified the same way
+:mod:`repro.trace` sanitises them).  Reserved keys win over collisions.
+
+Correlation ids propagate via :mod:`contextvars`, so they survive
+``await`` inside a single asyncio task and are inherited by executor
+callbacks scheduled from that task.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import io
+import json
+import math
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+
+__all__ = [
+    "LOG_SCHEMA",
+    "LEVELS",
+    "StructuredLogger",
+    "NULL_LOGGER",
+    "new_correlation_id",
+    "bind_correlation_id",
+    "current_correlation_id",
+    "correlation",
+    "validate_log_line",
+]
+
+LOG_SCHEMA = "repro.log/1"
+
+#: Numeric severities; ``off`` disables everything.
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40, "off": 100}
+
+_RESERVED = ("schema", "ts", "level", "logger", "event")
+
+_cid_var: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_correlation_id", default=None
+)
+
+
+def new_correlation_id(prefix: str = "req") -> str:
+    """Mint a fresh correlation id, e.g. ``req-3f9a1c0b77de``."""
+    return f"{prefix}-{uuid.uuid4().hex[:12]}"
+
+
+def bind_correlation_id(cid: str | None):
+    """Bind ``cid`` to the current context; returns a reset token."""
+    return _cid_var.set(cid)
+
+
+def unbind_correlation_id(token) -> None:
+    _cid_var.reset(token)
+
+
+def current_correlation_id() -> str | None:
+    return _cid_var.get()
+
+
+@contextmanager
+def correlation(cid: str | None = None, *, prefix: str = "req"):
+    """``with correlation() as cid:`` — bind a (fresh) cid for the block."""
+    if cid is None:
+        cid = new_correlation_id(prefix)
+    token = _cid_var.set(cid)
+    try:
+        yield cid
+    finally:
+        _cid_var.reset(token)
+
+
+def _json_safe(value):
+    """Clamp non-JSON values: non-finite floats → strings, sets → lists."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class StructuredLogger:
+    """Writes one ``repro.log/1`` JSON line per event.
+
+    ``stream`` defaults to an internal buffer (handy in tests — read it
+    back with :meth:`lines`); pass ``sys.stderr`` for a real server.
+    Thread-safe: one lock per logger serialises writes.
+    """
+
+    def __init__(
+        self,
+        name: str = "repro",
+        *,
+        stream=None,
+        level: str = "info",
+        clock=time.time,
+    ) -> None:
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level: {level!r}")
+        self.name = name
+        self.stream = stream if stream is not None else io.StringIO()
+        self.level = level
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return LEVELS[self.level] < LEVELS["off"]
+
+    def child(self, suffix: str) -> "StructuredLogger":
+        """A logger named ``<name>.<suffix>`` sharing stream and level."""
+        child = StructuredLogger(
+            f"{self.name}.{suffix}", stream=self.stream,
+            level=self.level, clock=self._clock,
+        )
+        child._lock = self._lock
+        return child
+
+    def log(self, level: str, event: str, **fields) -> None:
+        if LEVELS.get(level, 0) < LEVELS[self.level]:
+            return
+        record = {
+            "schema": LOG_SCHEMA,
+            "ts": round(float(self._clock()), 6),
+            "level": level,
+            "logger": self.name,
+            "event": str(event),
+        }
+        cid = fields.pop("cid", None) or current_correlation_id()
+        if cid is not None:
+            record["cid"] = cid
+        for key, value in fields.items():
+            if key in _RESERVED or key == "cid":
+                key = f"{key}_"
+            record[key] = _json_safe(value)
+        line = json.dumps(record, separators=(",", ":"), sort_keys=False)
+        with self._lock:
+            self.stream.write(line + "\n")
+            flush = getattr(self.stream, "flush", None)
+            if flush is not None:
+                flush()
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)
+
+    def lines(self) -> list[dict]:
+        """Parse back every line written so far (StringIO streams only)."""
+        getvalue = getattr(self.stream, "getvalue", None)
+        if getvalue is None:
+            raise TypeError("lines() requires an in-memory stream")
+        return [json.loads(line) for line in getvalue().splitlines() if line]
+
+
+class _NullLogger(StructuredLogger):
+    """Drops everything; the logging analogue of ``NULL_TRACER``."""
+
+    def __init__(self) -> None:
+        super().__init__("null", level="off")
+
+    def log(self, level: str, event: str, **fields) -> None:
+        pass
+
+
+#: Shared inert logger for the disabled path.
+NULL_LOGGER = _NullLogger()
+
+
+def validate_log_line(line) -> list[str]:
+    """Validate one log line (a JSON string or a parsed dict).
+
+    Returns a list of problems; empty means the line conforms to
+    ``repro.log/1``.
+    """
+    problems: list[str] = []
+    if isinstance(line, (str, bytes)):
+        try:
+            line = json.loads(line)
+        except ValueError as exc:
+            return [f"not JSON: {exc}"]
+    if not isinstance(line, dict):
+        return ["log line must be a JSON object"]
+    if line.get("schema") != LOG_SCHEMA:
+        problems.append(f"schema must be {LOG_SCHEMA!r}, got {line.get('schema')!r}")
+    ts = line.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts <= 0:
+        problems.append("ts must be a positive number")
+    level = line.get("level")
+    if level not in ("debug", "info", "warning", "error"):
+        problems.append(f"invalid level: {level!r}")
+    if not isinstance(line.get("logger"), str) or not line.get("logger"):
+        problems.append("logger must be a non-empty string")
+    if not isinstance(line.get("event"), str) or not line.get("event"):
+        problems.append("event must be a non-empty string")
+    cid = line.get("cid")
+    if cid is not None and (not isinstance(cid, str) or "-" not in cid):
+        problems.append("cid must be a '<prefix>-<hex>' string")
+    return problems

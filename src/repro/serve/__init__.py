@@ -13,7 +13,8 @@ usable on its own:
 * :class:`ReproServer` — the asyncio HTTP server with per-session
   request queues and burst coalescing;
 * :class:`ServeClient` — the blocking stdlib client;
-* :class:`ServeError` — protocol errors with machine-readable codes.
+* :class:`ServeError` — protocol errors with machine-readable codes;
+* :func:`render_top` / :func:`run_top` — the ``repro top`` dashboard.
 
 Start a server with ``python -m repro serve``; the wire protocol is
 documented in ``docs/API.md``.
@@ -25,6 +26,7 @@ from .manager import ServeConfig, SessionManager, session_nbytes
 from .protocol import ERROR_STATUS, PROTOCOL_VERSION, ServeError
 from .server import ReproServer
 from .snapshot import SNAPSHOT_SCHEMA, restore_session, snapshot_paths, snapshot_session
+from .top import render_top, run_top
 
 __all__ = [
     "BatchCoalescer",
@@ -36,7 +38,9 @@ __all__ = [
     "ServeError",
     "SessionManager",
     "SNAPSHOT_SCHEMA",
+    "render_top",
     "restore_session",
+    "run_top",
     "session_nbytes",
     "snapshot_paths",
     "snapshot_session",

@@ -54,15 +54,15 @@ class ServeClient:
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
-    def request(
+    def _raw(
         self,
         method: str,
         path: str,
         *,
         body: dict[str, Any] | None = None,
         params: dict[str, Any] | None = None,
-    ) -> dict[str, Any]:
-        """One round-trip under ``/v1``; raises :class:`ServeError` on errors.
+    ) -> tuple[int, bytes]:
+        """One round-trip under ``/v1``; returns ``(status, raw body)``.
 
         Retries once on a dropped connection (the server may have closed
         an idle keep-alive socket between requests).
@@ -77,23 +77,40 @@ class ServeClient:
             try:
                 conn.request(method, target, body=payload, headers=headers)
                 response = conn.getresponse()
-                data = response.read()
-                break
+                return response.status, response.read()
             except (ConnectionError, OSError):
                 self.close()
                 if attempt:
                     raise
+        raise AssertionError("unreachable")
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: dict[str, Any] | None = None,
+        params: dict[str, Any] | None = None,
+        tolerate: tuple[int, ...] = (),
+    ) -> dict[str, Any]:
+        """One JSON round-trip; raises :class:`ServeError` on errors.
+
+        ``tolerate`` lists non-2xx statuses whose (non-envelope) bodies
+        are returned instead of raised — the health probe uses it to
+        read readiness payloads off a 503.
+        """
+        status, data = self._raw(method, path, body=body, params=params)
         try:
             decoded = json.loads(data) if data else {}
         except json.JSONDecodeError as exc:
             raise ServeError(
-                "server_error", f"non-JSON response ({response.status}): {data[:200]!r}"
+                "server_error", f"non-JSON response ({status}): {data[:200]!r}"
             ) from exc
-        if response.status >= 400 or "error" in decoded:
+        if "error" in decoded or (status >= 400 and status not in tolerate):
             error = decoded.get("error", {})
             raise ServeError(
                 error.get("code", "server_error"),
-                error.get("message", f"HTTP {response.status}"),
+                error.get("message", f"HTTP {status}"),
             )
         return decoded
 
@@ -193,8 +210,31 @@ class ServeClient:
     def stats(self) -> dict[str, Any]:
         return self.request("GET", "/stats")
 
-    def health(self) -> bool:
-        return bool(self.request("GET", "/health").get("ok"))
+    def health(self, *, live: bool = False) -> dict[str, Any]:
+        """The health payload: ``{"ok": bool, "status": ...}``.
+
+        Readiness by default (``ok`` False while draining/degraded, read
+        off the 503 without raising); ``live=True`` asks the liveness
+        probe, which stays 200 while the process answers at all.
+        """
+        params = {"live": 1} if live else None
+        return self.request(
+            "GET", "/health", params=params, tolerate=(503,)
+        )
+
+    def metrics(self) -> str:
+        """The Prometheus text exposition from ``GET /v1/metrics``."""
+        status, data = self._raw("GET", "/metrics")
+        if status >= 400:
+            try:
+                error = json.loads(data).get("error", {})
+            except json.JSONDecodeError:
+                error = {}
+            raise ServeError(
+                error.get("code", "server_error"),
+                error.get("message", f"HTTP {status}"),
+            )
+        return data.decode("utf-8")
 
     def shutdown(self) -> None:
         self.request("POST", "/shutdown")

@@ -29,6 +29,7 @@ from typing import Any
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..obs.metrics import NULL_REGISTRY, get_registry
 from ..stream import StreamConfig, StreamSession
 from ..trace import Tracer
 from .snapshot import restore_session, snapshot_paths, snapshot_session
@@ -61,6 +62,15 @@ class ServeConfig:
     coalesce:
         Server-level default: merge request bursts into one ``apply()``
         per session (the manager itself does not queue).
+    metrics:
+        Record runtime metrics into the process-wide default
+        :class:`~repro.obs.metrics.MetricsRegistry` (exposed by the
+        server as ``GET /v1/metrics``).  ``False`` uses the inert
+        :data:`~repro.obs.metrics.NULL_REGISTRY` — zero overhead, and
+        the metrics endpoint answers 404.
+    slow_request_seconds:
+        Requests slower than this are logged as ``slow_request``
+        (structured-log event; ``0`` logs every request).
     """
 
     max_sessions: int = 8
@@ -68,12 +78,16 @@ class ServeConfig:
     snapshot_dir: str | Path = "sessions"
     trace: bool = True
     coalesce: bool = True
+    metrics: bool = True
+    slow_request_seconds: float = 1.0
 
     def __post_init__(self) -> None:
         if self.max_sessions < 0:
             raise ValueError("max_sessions must be >= 0")
         if self.max_bytes is not None and self.max_bytes <= 0:
             raise ValueError("max_bytes must be positive")
+        if self.slow_request_seconds < 0:
+            raise ValueError("slow_request_seconds must be >= 0")
 
 
 def session_nbytes(session: StreamSession) -> int:
@@ -91,7 +105,13 @@ def session_nbytes(session: StreamSession) -> int:
 class SessionManager:
     """Owns named sessions with an LRU resident set and disk spillover."""
 
-    def __init__(self, config: ServeConfig | None = None, **overrides: Any) -> None:
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        *,
+        registry: Any = None,
+        **overrides: Any,
+    ) -> None:
         if config is None:
             config = ServeConfig(**overrides)
         elif overrides:
@@ -104,6 +124,47 @@ class SessionManager:
         self.restored = 0
         self.evictions = 0
         self.snapshots = 0
+        self.budget_evictions = 0
+        # True while the resident-set budget is forcing evictions: set
+        # whenever the latest admission (create/restore) had to evict,
+        # cleared when an admission fits or residency shrinks.  /v1/health
+        # reports "degraded" while this holds.
+        self._budget_pressure = False
+        if registry is None:
+            registry = get_registry() if config.metrics else NULL_REGISTRY
+        self.registry = registry
+        self._init_metrics()
+
+    def _init_metrics(self) -> None:
+        reg = self.registry
+        self._m_created = reg.counter(
+            "repro_serve_sessions_created_total", "Sessions created."
+        )
+        self._m_restored = reg.counter(
+            "repro_serve_sessions_restored_total",
+            "Sessions restored from snapshot on first touch.",
+        )
+        self._m_evicted = reg.counter(
+            "repro_serve_sessions_evicted_total",
+            "Sessions snapshotted and dropped from memory (all causes).",
+        )
+        self._m_budget_evicted = reg.counter(
+            "repro_serve_budget_evictions_total",
+            "Evictions forced by the session/byte budget.",
+        )
+        self._m_snapshots = reg.counter(
+            "repro_serve_snapshots_total", "Session snapshots written."
+        )
+        reg.gauge(
+            "repro_serve_sessions_resident",
+            "Sessions currently resident in memory.",
+            fn=lambda: float(len(self.sessions)),
+        )
+        reg.gauge(
+            "repro_serve_resident_bytes",
+            "Byte estimate of all resident sessions.",
+            fn=lambda: float(self.resident_bytes()),
+        )
 
     # ------------------------------------------------------------------ #
     # Naming and locating
@@ -166,9 +227,11 @@ class SessionManager:
             initial_membership=initial_membership,
             tracer=Tracer() if self.config.trace else None,
         )
+        session.bind_metrics(self.registry, session=name)
         self.sessions[name] = session
         self.sessions.move_to_end(name)
         self.created += 1
+        self._m_created.inc()
         self._enforce_budget(keep=name)
         return session
 
@@ -186,8 +249,10 @@ class SessionManager:
                 self._base(name),
                 tracer=Tracer() if self.config.trace else None,
             )
+            session.bind_metrics(self.registry, session=name)
             self.sessions[name] = session
             self.restored += 1
+            self._m_restored.inc()
             self._enforce_budget(keep=name)
         self.sessions.move_to_end(name)
         return session
@@ -197,6 +262,7 @@ class SessionManager:
         session = self.get(name)
         path = snapshot_session(session, self._base(name))
         self.snapshots += 1
+        self._m_snapshots.inc()
         return path
 
     def evict(self, name: str) -> Path:
@@ -206,6 +272,8 @@ class SessionManager:
         path = self.snapshot(name)
         del self.sessions[name]
         self.evictions += 1
+        self._m_evicted.inc()
+        self._budget_pressure = self._over_budget()
         return path
 
     def delete(self, name: str) -> None:
@@ -219,6 +287,7 @@ class SessionManager:
                 found = True
         if not found:
             raise KeyError(f"unknown session {name!r}")
+        self._budget_pressure = self._over_budget()
 
     # ------------------------------------------------------------------ #
     # Pinning and budget
@@ -265,7 +334,15 @@ class SessionManager:
                 break
             self.evict(victim)
             evicted.append(victim)
+        self.budget_evictions += len(evicted)
+        self._m_budget_evicted.inc(len(evicted))
+        self._budget_pressure = bool(evicted) or self._over_budget()
         return evicted
+
+    @property
+    def eviction_pressure(self) -> bool:
+        """True while the budget is forcing evictions (health: degraded)."""
+        return self._budget_pressure
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -317,5 +394,7 @@ class SessionManager:
             "created": self.created,
             "restored": self.restored,
             "evictions": self.evictions,
+            "budget_evictions": self.budget_evictions,
             "snapshots": self.snapshots,
+            "eviction_pressure": self.eviction_pressure,
         }

@@ -33,6 +33,13 @@ from time import perf_counter, time
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
+from ..obs.logs import (
+    NULL_LOGGER,
+    bind_correlation_id,
+    current_correlation_id,
+    new_correlation_id,
+    unbind_correlation_id,
+)
 from ..stream import StreamConfig
 from .coalesce import BatchCoalescer
 from .manager import SessionManager
@@ -55,6 +62,33 @@ _PHRASES = {
 
 #: Soft cap on members returned by one /members call.
 MAX_MEMBERS = 100_000
+
+#: Session sub-route verbs that get their own route-template label.
+_SESSION_VERBS = frozenset(
+    ("batch", "community", "members", "top", "report", "snapshot", "evict")
+)
+
+
+def _route_label(target: str) -> str:
+    """Collapse a request target onto its route template.
+
+    Metric labels must stay low-cardinality, so session names (and any
+    unknown path) never become label values: ``/v1/sessions/alpha/batch``
+    → ``session/batch``, ``/v1/sessions/alpha`` → ``session``, anything
+    unrecognised → ``other``.
+    """
+    parts = [p for p in urlsplit(target).path.split("/") if p]
+    if not parts or parts[0] != PROTOCOL_VERSION:
+        return "other"
+    parts = parts[1:]
+    if len(parts) == 1 and parts[0] in ("health", "stats", "metrics",
+                                        "shutdown", "sessions"):
+        return parts[0]
+    if len(parts) == 2 and parts[0] == "sessions":
+        return "session"
+    if len(parts) == 3 and parts[0] == "sessions" and parts[2] in _SESSION_VERBS:
+        return f"session/{parts[2]}"
+    return "other"
 
 
 class ServerStats:
@@ -92,12 +126,15 @@ class ServerStats:
 class _BatchRequest:
     """One queued /batch request waiting on its apply."""
 
-    __slots__ = ("add", "remove", "future")
+    __slots__ = ("add", "remove", "future", "cid")
 
-    def __init__(self, add, remove, future: asyncio.Future) -> None:
+    def __init__(
+        self, add, remove, future: asyncio.Future, cid: str | None = None
+    ) -> None:
         self.add = add
         self.remove = remove
         self.future = future
+        self.cid = cid
 
 
 class ReproServer:
@@ -115,6 +152,14 @@ class ReproServer:
     coalesce:
         Merge queued bursts into one apply per session.  Defaults to
         the manager's :attr:`~repro.serve.manager.ServeConfig.coalesce`.
+    logger:
+        A :class:`~repro.obs.logs.StructuredLogger` for runtime events
+        (``slow_request``, ``batch_applied``, session lifecycle …).
+        Defaults to the silent :data:`~repro.obs.logs.NULL_LOGGER`.
+
+    The server records runtime metrics into the manager's registry
+    (``manager.registry``) and exposes them as Prometheus text at
+    ``GET /v1/metrics``.
     """
 
     def __init__(
@@ -124,20 +169,73 @@ class ReproServer:
         host: str = "127.0.0.1",
         port: int = 8077,
         coalesce: bool | None = None,
+        logger=None,
     ) -> None:
         self.manager = manager
         self.host = host
         self.port = port
         self.coalesce = manager.config.coalesce if coalesce is None else coalesce
         self.stats = ServerStats()
+        self.metrics = manager.registry
+        self.log = logger if logger is not None else NULL_LOGGER
+        self.slow_request_seconds = manager.config.slow_request_seconds
         self._server: asyncio.base_events.Server | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stopped: asyncio.Event | None = None
         self._stopping = False
+        self._draining = False
         self._locks: dict[str, asyncio.Lock] = {}
         self._queues: dict[str, asyncio.Queue] = {}
         self._workers: dict[str, asyncio.Task] = {}
         self._writers: set[asyncio.StreamWriter] = set()
+        self._init_metrics()
+
+    def _init_metrics(self) -> None:
+        m = self.metrics
+        self._m_requests = m.counter(
+            "repro_serve_requests_total",
+            "HTTP requests by route template and method.",
+            labels=("route", "method"),
+        )
+        self._m_request_seconds = m.histogram(
+            "repro_serve_request_seconds",
+            "Request latency by route template.",
+            labels=("route",),
+        )
+        self._m_errors = m.counter(
+            "repro_serve_errors_total",
+            "Error envelopes by machine-readable code.",
+            labels=("code",),
+        )
+        self._m_batch_requests = m.counter(
+            "repro_serve_batch_requests_total", "Accepted /batch requests."
+        )
+        self._m_applies = m.counter(
+            "repro_serve_applies_total", "session.apply() calls executed."
+        )
+        self._m_coalesced = m.counter(
+            "repro_serve_coalesced_requests_total",
+            "Batch requests folded into a shared apply (burst size - 1 each).",
+        )
+        self._m_fold_ratio = m.gauge(
+            "repro_serve_coalesce_fold_ratio",
+            "Cumulative batch requests per apply (1.0 = no folding).",
+        )
+        self._m_apply_seconds = m.histogram(
+            "repro_serve_apply_seconds",
+            "Coalesced apply latency (executor wall time) per session.",
+            labels=("session",),
+        )
+        m.gauge(
+            "repro_serve_queue_depth",
+            "Queued batch requests across all sessions.",
+            fn=lambda: float(sum(q.qsize() for q in self._queues.values())),
+        )
+        m.gauge(
+            "repro_serve_workers_busy",
+            "Sessions with an apply in flight (pinned in the manager).",
+            fn=lambda: float(len(self.manager._pinned)),
+        )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -150,6 +248,7 @@ class ReproServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self.log.info("server_started", host=self.host, port=self.port)
 
     async def serve_until_stopped(self) -> None:
         """Serve until :meth:`request_shutdown` (or POST /v1/shutdown)."""
@@ -179,6 +278,7 @@ class ReproServer:
 
     def request_shutdown(self) -> None:
         """Stop serving (thread-safe; idempotent)."""
+        self._draining = True
         self._stopping = True
         loop, stopped = self._loop, self._stopped
         if loop is not None and stopped is not None and not loop.is_closed():
@@ -207,6 +307,7 @@ class ReproServer:
             await self._server.wait_closed()
         for writer in list(self._writers):
             writer.close()
+        self.log.info("server_stopped", requests=self.stats.requests)
 
     # ------------------------------------------------------------------ #
     # HTTP plumbing
@@ -256,14 +357,20 @@ class ReproServer:
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict[str, Any],
+        payload: dict[str, Any] | str,
         *,
         close: bool,
     ) -> None:
-        data = json.dumps(payload, allow_nan=False).encode()
+        if isinstance(payload, str):
+            # Raw text body (the /v1/metrics Prometheus exposition).
+            data = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            data = json.dumps(payload, allow_nan=False).encode()
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_PHRASES.get(status, 'OK')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(data)}\r\n"
             f"Connection: {'close' if close else 'keep-alive'}\r\n\r\n"
         )
@@ -278,19 +385,50 @@ class ReproServer:
     # ------------------------------------------------------------------ #
     async def _dispatch(
         self, method: str, target: str, body: bytes
-    ) -> tuple[int, dict[str, Any]]:
+    ) -> tuple[int, dict[str, Any] | str]:
         self.stats.requests += 1
+        start = perf_counter()
+        route = _route_label(target)
+        cid = new_correlation_id("req")
+        token = bind_correlation_id(cid)
         try:
             payload = await self._route(method, target, body)
-            return 200, payload
+            if isinstance(payload, tuple):
+                status, payload = payload
+            else:
+                status = 200
         except ServeError as exc:
             self.stats.errors += 1
-            return exc.status, error_body(exc.code, exc.message)
+            self._m_errors.labels(code=exc.code).inc()
+            self.log.warning(
+                "request_error",
+                method=method, route=route, code=exc.code, status=exc.status,
+            )
+            status, payload = exc.status, error_body(exc.code, exc.message)
         except Exception as exc:  # noqa: BLE001 - protocol boundary
             self.stats.errors += 1
-            return 500, error_body(
+            self._m_errors.labels(code="server_error").inc()
+            self.log.error(
+                "request_error",
+                method=method, route=route, code="server_error", status=500,
+                exception=f"{type(exc).__name__}: {exc}",
+            )
+            status, payload = 500, error_body(
                 "server_error", f"{type(exc).__name__}: {exc}"
             )
+        finally:
+            unbind_correlation_id(token)
+        seconds = perf_counter() - start
+        self._m_requests.labels(route=route, method=method).inc()
+        self._m_request_seconds.labels(route=route).observe(seconds)
+        if seconds >= self.slow_request_seconds:
+            self.log.warning(
+                "slow_request",
+                cid=cid, method=method, route=route, status=status,
+                seconds=round(seconds, 6),
+                threshold_seconds=self.slow_request_seconds,
+            )
+        return status, payload
 
     def _json_body(self, body: bytes) -> dict[str, Any]:
         if not body:
@@ -305,7 +443,8 @@ class ReproServer:
 
     async def _route(
         self, method: str, target: str, body: bytes
-    ) -> dict[str, Any]:
+    ) -> dict[str, Any] | tuple[int, dict[str, Any] | str]:
+        """Handle one request; returns a payload or ``(status, payload)``."""
         split = urlsplit(target)
         query = {k: v[-1] for k, v in parse_qs(split.query).items()}
         parts = [p for p in split.path.split("/") if p]
@@ -314,13 +453,20 @@ class ReproServer:
         parts = parts[1:]
 
         if parts == ["health"]:
-            return {"ok": True}
+            return self._health_payload(query)
+        if parts == ["metrics"]:
+            self._expect(method, "GET")
+            if not self.metrics.enabled:
+                raise ServeError("not_found", "metrics are disabled")
+            return 200, self.metrics.render()
         if parts == ["stats"]:
             self._expect(method, "GET")
             return self._stats_payload()
         if parts == ["shutdown"]:
             self._expect(method, "POST")
             assert self._loop is not None
+            self._draining = True
+            self.log.info("server_stopping", reason="shutdown_requested")
             self._loop.call_later(0.05, self.request_shutdown)
             return {"ok": True, "shutting_down": True}
         if parts == ["sessions"]:
@@ -367,6 +513,34 @@ class ReproServer:
             )
 
     # ------------------------------------------------------------------ #
+    # Health
+    # ------------------------------------------------------------------ #
+    def _health_status(self) -> str:
+        """Readiness: ``ready`` | ``draining`` | ``degraded``."""
+        if self._draining or self._stopping:
+            return "draining"
+        if self.manager.eviction_pressure:
+            return "degraded"
+        return "ready"
+
+    def _health_payload(
+        self, query: dict[str, str]
+    ) -> tuple[int, dict[str, Any]]:
+        """Liveness vs readiness (docs/API.md).
+
+        ``?live=1`` is the liveness probe: 200 for as long as the
+        process answers at all, even mid-drain.  Without it the route is
+        a readiness probe: 503 while draining (shutdown requested) or
+        degraded (the session/byte budget is forcing evictions), so load
+        balancers stop routing new work while the process stays up.
+        """
+        if query.get("live"):
+            return 200, {"ok": True, "status": "alive"}
+        status = self._health_status()
+        ok = status == "ready"
+        return (200 if ok else 503), {"ok": ok, "status": status}
+
+    # ------------------------------------------------------------------ #
     # Session routes
     # ------------------------------------------------------------------ #
     def _lock(self, name: str) -> asyncio.Lock:
@@ -405,6 +579,12 @@ class ReproServer:
             await self._loop.run_in_executor(
                 None, lambda: self.manager.create(name, graph, config)
             )
+            self.log.info(
+                "session_created",
+                session=name,
+                num_vertices=graph.num_vertices,
+                num_edges=graph.num_edges,
+            )
             return self.manager.info(name)
 
     async def _delete_session(self, name: str) -> dict[str, Any]:
@@ -416,6 +596,7 @@ class ReproServer:
                 raise ServeError("session_not_found", str(exc)) from exc
             except RuntimeError as exc:
                 raise ServeError("session_busy", str(exc)) from exc
+            self.log.info("session_deleted", session=name)
             return {"ok": True, "deleted": name}
 
     def _teardown_worker(self, name: str) -> None:
@@ -439,6 +620,7 @@ class ReproServer:
             raise ServeError("session_not_found", f"unknown session {name!r}")
         add, remove = decode_batch(payload)
         self.stats.batch_requests += 1
+        self._m_batch_requests.inc()
         assert self._loop is not None
         future: asyncio.Future = self._loop.create_future()
         queue = self._queues.get(name)
@@ -447,7 +629,9 @@ class ReproServer:
         worker = self._workers.get(name)
         if worker is None or worker.done():
             self._workers[name] = self._loop.create_task(self._batch_worker(name))
-        await queue.put(_BatchRequest(add, remove, future))
+        await queue.put(
+            _BatchRequest(add, remove, future, cid=current_correlation_id())
+        )
         return await future
 
     async def _batch_worker(self, name: str) -> None:
@@ -493,6 +677,11 @@ class ReproServer:
                 None, lambda: session.apply(add=add, remove=remove)
             )
         except Exception as exc:  # noqa: BLE001 - answer every waiter
+            self.log.error(
+                "apply_failed", session=name,
+                exception=f"{type(exc).__name__}: {exc}",
+                cids=[r.cid for r in accepted if r.cid],
+            )
             for request in accepted:
                 if not request.future.done():
                     request.future.set_exception(
@@ -501,12 +690,27 @@ class ReproServer:
             return
         finally:
             self.manager.unpin(name)
+        elapsed = perf_counter() - start
         self.stats.applies += 1
-        self.stats.apply_seconds += perf_counter() - start
+        self.stats.apply_seconds += elapsed
         self.stats.coalesced_requests += len(accepted) - 1
         self.stats.max_coalesce = max(self.stats.max_coalesce, len(accepted))
         self.stats.edges_added += result.edges_added
         self.stats.edges_removed += result.edges_removed
+        self._m_applies.inc()
+        self._m_coalesced.inc(len(accepted) - 1)
+        self._m_fold_ratio.set(
+            self.stats.batch_requests / max(self.stats.applies, 1)
+        )
+        self._m_apply_seconds.labels(session=name).observe(elapsed)
+        self.log.info(
+            "batch_applied",
+            session=name, batch=result.batch, mode=result.mode,
+            coalesced=len(accepted), seconds=round(elapsed, 6),
+            edges_added=result.edges_added, edges_removed=result.edges_removed,
+            span_path=f"batch[{result.batch}]",
+            cids=[r.cid for r in accepted if r.cid],
+        )
         payload = result_payload(result, coalesced=len(accepted))
         for request in accepted:
             if not request.future.done():
@@ -600,6 +804,7 @@ class ReproServer:
                 path = self.manager.snapshot(name)
             except KeyError as exc:
                 raise ServeError("session_not_found", str(exc)) from exc
+            self.log.info("snapshot_written", session=name, path=str(path))
             return {"ok": True, "snapshot": str(path)}
 
     async def _evict(self, name: str) -> dict[str, Any]:
@@ -610,6 +815,7 @@ class ReproServer:
                 raise ServeError("session_not_found", str(exc)) from exc
             except RuntimeError as exc:
                 raise ServeError("session_busy", str(exc)) from exc
+            self.log.info("session_evicted", session=name, path=str(path))
             return {"ok": True, "snapshot": str(path)}
 
     # ------------------------------------------------------------------ #
@@ -618,8 +824,23 @@ class ReproServer:
     def _stats_payload(self) -> dict[str, Any]:
         payload = self.stats.to_dict()
         payload["coalesce"] = self.coalesce
+        payload["status"] = self._health_status()
         payload["sessions"] = self.manager.stats()
         payload["queues"] = {
             name: queue.qsize() for name, queue in self._queues.items()
         }
+        per_session: dict[str, Any] = {}
+        for name in list(self.manager.sessions):
+            try:
+                info = self.manager.info(name)
+            except KeyError:
+                continue
+            queue = self._queues.get(name)
+            info["queue_depth"] = queue.qsize() if queue is not None else 0
+            hist = self._m_apply_seconds.labels(session=name)
+            info["applies"] = hist.count
+            info["apply_p50_seconds"] = hist.quantile(0.5)
+            info["apply_p99_seconds"] = hist.quantile(0.99)
+            per_session[name] = info
+        payload["per_session"] = per_session
         return payload

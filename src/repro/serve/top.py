@@ -1,0 +1,164 @@
+"""``repro top`` — a live dashboard over a running ``repro.serve`` server.
+
+Polls ``GET /v1/stats`` (which now carries health status and a
+``per_session`` block with queue depths and apply-latency quantiles
+estimated from the server's histograms) and renders a terminal frame:
+
+.. code-block:: text
+
+    repro top · http://127.0.0.1:8077 · status: ready · up 124s
+    requests 512 (4 errors) · applies 75 · fold 1.71x · batches/s 12.3
+    sessions: 3 resident / 5 known · 1.2 MiB resident · evictions 2 (2 budget)
+
+    session  batches  queue  p50 ms  p99 ms  vertices  edges  Q       mode
+    alpha    41       0      3.1     12.0    3000      9021   0.8612  resident
+    ...
+
+Rendering is a pure function of two stats payloads (previous and
+current, for the batches/s delta), so tests drive it without a terminal;
+:func:`run_top` adds the poll loop, screen clearing and error handling.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any
+
+from .client import ServeClient
+
+__all__ = ["render_top", "run_top"]
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    return f"{n:.1f} GiB"
+
+
+def _rate(current: dict[str, Any], prev: dict[str, Any] | None,
+          elapsed: float | None) -> float:
+    """Batch requests per second between two stats polls."""
+    if prev is None or not elapsed or elapsed <= 0:
+        return 0.0
+    now = current.get("batches", {}).get("requests", 0)
+    before = prev.get("batches", {}).get("requests", 0)
+    return max(0.0, (now - before) / elapsed)
+
+
+def render_top(
+    stats: dict[str, Any],
+    *,
+    prev: dict[str, Any] | None = None,
+    elapsed: float | None = None,
+    url: str = "",
+) -> str:
+    """One dashboard frame from a ``/v1/stats`` payload."""
+    batches = stats.get("batches", {})
+    sessions = stats.get("sessions", {})
+    applies = batches.get("applies", 0)
+    requests = batches.get("requests", 0)
+    fold = requests / applies if applies else 0.0
+    lines = [
+        f"repro top · {url} · status: {stats.get('status', '?')} · "
+        f"up {stats.get('uptime_seconds', 0.0):.0f}s",
+        f"requests {stats.get('requests', 0)} ({stats.get('errors', 0)} errors)"
+        f" · applies {applies} · fold {fold:.2f}x"
+        f" · batches/s {_rate(stats, prev, elapsed):.1f}",
+        f"sessions: {sessions.get('resident', 0)} resident /"
+        f" {sessions.get('known', 0)} known"
+        f" · {_fmt_bytes(sessions.get('resident_bytes', 0))} resident"
+        f" · evictions {sessions.get('evictions', 0)}"
+        f" ({sessions.get('budget_evictions', 0)} budget)",
+        "",
+    ]
+    per_session = stats.get("per_session", {})
+    header = (
+        "session", "batches", "queue", "p50 ms", "p99 ms",
+        "vertices", "edges", "Q",
+    )
+    rows = []
+    for name in sorted(per_session):
+        info = per_session[name]
+        q = info.get("modularity")
+        rows.append((
+            name,
+            str(info.get("batches", 0)),
+            str(info.get("queue_depth", 0)),
+            f"{info.get('apply_p50_seconds', 0.0) * 1e3:.1f}",
+            f"{info.get('apply_p99_seconds', 0.0) * 1e3:.1f}",
+            str(info.get("num_vertices", 0)),
+            str(info.get("num_edges", 0)),
+            "-" if q is None else f"{q:.4f}",
+        ))
+    if not rows:
+        lines.append("(no resident sessions)")
+    else:
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in rows))
+            for i in range(len(header))
+        ]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        for row in rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8077,
+    interval: float = 2.0,
+    count: int = 0,
+    once: bool = False,
+    as_json: bool = False,
+    out=None,
+) -> int:
+    """Poll a server and render frames; returns a process exit code.
+
+    ``once`` prints a single frame without clearing the screen (tests,
+    scripting); ``count`` limits the number of frames (0 = until ^C);
+    ``as_json`` dumps the raw stats payload once instead of rendering.
+    """
+    out = out if out is not None else sys.stdout
+    url = f"http://{host}:{port}"
+    frames = 1 if (once or as_json) else count
+    prev: dict[str, Any] | None = None
+    prev_t: float | None = None
+    shown = 0
+    client = ServeClient(host=host, port=port)
+    try:
+        while True:
+            try:
+                stats = client.stats()
+            except (ConnectionError, OSError) as exc:
+                print(f"repro top: cannot reach {url}: {exc}", file=sys.stderr)
+                return 1
+            if as_json:
+                out.write(json.dumps(stats, indent=2) + "\n")
+                return 0
+            now = time.monotonic()
+            frame = render_top(
+                stats,
+                prev=prev,
+                elapsed=None if prev_t is None else now - prev_t,
+                url=url,
+            )
+            if not once:
+                out.write(_CLEAR)
+            out.write(frame)
+            out.flush()
+            shown += 1
+            if frames and shown >= frames:
+                return 0
+            prev, prev_t = stats, now
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        client.close()

@@ -426,6 +426,34 @@ class _SyncPool:
         self._task_queues = []
 
 
+def _record_shard_metrics(
+    shard_seconds: dict[int, float], *, rounds: int = 0
+) -> None:
+    """Record per-worker CPU seconds (and reconciliation rounds) into the
+    process-wide metrics registry.
+
+    Imported lazily: ``repro.obs`` pulls the bench/analyze stack, which
+    imports the core solvers — a module-level import here would cycle.
+    """
+    from ..obs.metrics import get_registry
+
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    cpu = registry.counter(
+        "repro_shard_worker_cpu_seconds_total",
+        "CPU seconds spent in shard workers, by shard.",
+        labels=("shard",),
+    )
+    for shard, seconds in sorted(shard_seconds.items()):
+        cpu.labels(shard=str(shard)).inc(seconds)
+    if rounds:
+        registry.counter(
+            "repro_shard_reconciliation_rounds_total",
+            "Boundary reconciliation rounds executed (color mode).",
+        ).inc(rounds)
+
+
 def _sync_phase(
     graph: CSRGraph,
     config: GPULouvainConfig,
@@ -626,6 +654,9 @@ def _sync_phase(
             workers_seconds_total=workers_total,
             workers_seconds_critical=workers_critical,
         )
+    _record_shard_metrics(
+        {shard: stats["seconds"] for shard, stats in shard_stats.items()}
+    )
     return OptimizationOutcome(comm_out, sweeps, q, profile)
 
 
@@ -681,6 +712,7 @@ def _color_phase(
         boundary_moves = 0
         workers_total = 0.0
         workers_critical = 0.0
+        shard_seconds: dict[int, float] = {}
         q = committer.q
 
         with SharedArrays() as shared:
@@ -728,6 +760,10 @@ def _color_phase(
                         applied = committer.commit(proposal.movers, proposal.labels)
                         interior_moves += applied
                         round_moved += applied
+                        shard_seconds[proposal.shard] = (
+                            shard_seconds.get(proposal.shard, 0.0)
+                            + proposal.seconds
+                        )
                         if tracer.enabled:
                             tracer.attach(
                                 Span(
@@ -826,6 +862,7 @@ def _color_phase(
             workers_seconds_critical=workers_critical,
             modularity=outcome.modularity,
         )
+    _record_shard_metrics(shard_seconds, rounds=rounds)
     return outcome
 
 

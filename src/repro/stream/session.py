@@ -279,6 +279,7 @@ class StreamSession:
         self.config = config
         self.graph = graph
         self.batches = 0
+        self._metrics: dict | None = None
         self.tracer = as_tracer(tracer)
         self.reports: list[RunReport] = []
         self.initial_report: RunReport | None = None
@@ -332,6 +333,7 @@ class StreamSession:
         session = object.__new__(cls)
         session.config = config
         session.graph = graph
+        session._metrics = None
         session._engine = get_engine(config.algo)
         session.batches = int(batches)
         session.tracer = as_tracer(tracer)
@@ -351,6 +353,59 @@ class StreamSession:
     def modularity(self) -> float:
         """Modularity of the current clustering."""
         return self.result.modularity
+
+    def bind_metrics(self, registry, **labels) -> None:
+        """Record per-batch runtime metrics into ``registry``.
+
+        ``labels`` become the series labels (the serve layer passes
+        ``session=<name>``); label *names* must be consistent across
+        every bound session in one registry.  Recorded series:
+        ``repro_stream_batch_seconds`` (apply latency histogram),
+        ``repro_stream_frontier_fraction`` (gauge, last batch),
+        ``repro_stream_full_reruns_total`` / ``repro_stream_resyncs_total``
+        (counters) and ``repro_stream_audit_nmi`` (gauge, last audit).
+        """
+        names = tuple(sorted(labels))
+        self._metrics = {
+            "seconds": registry.histogram(
+                "repro_stream_batch_seconds",
+                "StreamSession.apply latency per batch.",
+                labels=names,
+            ).labels(**labels),
+            "frontier": registry.gauge(
+                "repro_stream_frontier_fraction",
+                "Frontier fraction of the most recent batch.",
+                labels=names,
+            ).labels(**labels),
+            "full_reruns": registry.counter(
+                "repro_stream_full_reruns_total",
+                "Batches that fell back to (or audited with) a full rerun.",
+                labels=names,
+            ).labels(**labels),
+            "resyncs": registry.counter(
+                "repro_stream_resyncs_total",
+                "Audit resyncs: session state replaced by the exact rerun.",
+                labels=names,
+            ).labels(**labels),
+            "nmi": registry.gauge(
+                "repro_stream_audit_nmi",
+                "NMI of streamed vs exact membership at the last audit.",
+                labels=names,
+            ).labels(**labels),
+        }
+
+    def _record_metrics(self, result: StreamResult, seconds: float) -> None:
+        m = self._metrics
+        if m is None:
+            return
+        m["seconds"].observe(seconds)
+        m["frontier"].set(result.frontier_fraction)
+        if result.full_rerun or result.mode in ("full", "stream+full"):
+            m["full_reruns"].inc()
+        if result.mode == "stream+full":
+            m["resyncs"].inc()
+        if result.nmi_vs_full is not None:
+            m["nmi"].set(result.nmi_vs_full)
 
     def apply(
         self,
@@ -373,7 +428,9 @@ class StreamSession:
         """
         tracer = self.tracer
         if not tracer.enabled:
-            return self._apply(add, remove)
+            result = self._apply(add, remove)
+            self._record_metrics(result, result.seconds)
+            return result
         with tracer.span("batch") as span:
             result = self._apply(add, remove)
             span.set(batch=result.batch, mode=result.mode)
@@ -385,6 +442,7 @@ class StreamSession:
                 frontier_fraction=result.frontier_fraction,
                 modularity=result.modularity,
             )
+        self._record_metrics(result, result.seconds)
         self.reports.append(
             report_from_result(
                 result,

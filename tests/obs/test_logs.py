@@ -1,0 +1,137 @@
+"""Tests for repro.obs.logs — structured JSON lines and correlation ids."""
+
+import io
+import json
+
+from repro.obs.logs import (
+    LOG_SCHEMA,
+    NULL_LOGGER,
+    StructuredLogger,
+    bind_correlation_id,
+    correlation,
+    current_correlation_id,
+    new_correlation_id,
+    unbind_correlation_id,
+    validate_log_line,
+)
+
+
+def test_basic_line_shape():
+    log = StructuredLogger("t", clock=lambda: 123.5)
+    log.info("hello", n=3, name="x")
+    (line,) = log.lines()
+    assert line == {
+        "schema": LOG_SCHEMA,
+        "ts": 123.5,
+        "level": "info",
+        "logger": "t",
+        "event": "hello",
+        "n": 3,
+        "name": "x",
+    }
+
+
+def test_level_filtering():
+    log = StructuredLogger("t", level="warning")
+    log.debug("a")
+    log.info("b")
+    log.warning("c")
+    log.error("d")
+    assert [ln["event"] for ln in log.lines()] == ["c", "d"]
+
+
+def test_off_level_disables():
+    log = StructuredLogger("t", level="off")
+    assert not log.enabled
+    log.error("boom")
+    assert log.lines() == []
+
+
+def test_correlation_id_binding():
+    log = StructuredLogger("t")
+    cid = new_correlation_id()
+    assert "-" in cid
+    token = bind_correlation_id(cid)
+    try:
+        log.info("inside")
+    finally:
+        unbind_correlation_id(token)
+    log.info("outside")
+    inside, outside = log.lines()
+    assert inside["cid"] == cid
+    assert "cid" not in outside
+    assert current_correlation_id() is None
+
+
+def test_correlation_context_manager():
+    log = StructuredLogger("t")
+    with correlation("req-abc") as cid:
+        assert cid == "req-abc"
+        log.info("x")
+    (line,) = log.lines()
+    assert line["cid"] == "req-abc"
+
+
+def test_explicit_cid_kwarg_wins():
+    log = StructuredLogger("t")
+    with correlation("req-ctx"):
+        log.info("x", cid="req-explicit")
+    assert log.lines()[0]["cid"] == "req-explicit"
+
+
+def test_reserved_key_collision_suffixed():
+    log = StructuredLogger("t")
+    log.info("x", logger="sneaky", schema="other", ts=0)
+    (line,) = log.lines()
+    assert line["logger"] == "t"
+    assert line["logger_"] == "sneaky"
+    assert line["schema_"] == "other"
+    assert line["ts_"] == 0
+
+
+def test_nonfinite_floats_stringified():
+    log = StructuredLogger("t")
+    log.info("x", a=float("nan"), b=float("inf"))
+    raw = log.stream.getvalue()
+    parsed = json.loads(raw)  # must be strict-JSON parseable
+    assert parsed["a"] == "nan"
+    assert parsed["b"] == "inf"
+
+
+def test_child_logger_shares_stream():
+    stream = io.StringIO()
+    log = StructuredLogger("repro.serve", stream=stream)
+    log.child("apply").info("x")
+    line = json.loads(stream.getvalue())
+    assert line["logger"] == "repro.serve.apply"
+
+
+def test_null_logger_inert():
+    assert not NULL_LOGGER.enabled
+    NULL_LOGGER.info("ignored", anything=1)
+    NULL_LOGGER.error("ignored")
+
+
+def test_validate_log_line_ok():
+    log = StructuredLogger("t")
+    with correlation("req-1"):
+        log.info("x")
+    raw = log.stream.getvalue().strip()
+    assert validate_log_line(raw) == []
+    assert validate_log_line(json.loads(raw)) == []
+
+
+def test_validate_log_line_rejections():
+    assert validate_log_line("not json")
+    assert validate_log_line("[]")
+    good = {"schema": LOG_SCHEMA, "ts": 1.0, "level": "info",
+            "logger": "t", "event": "x"}
+    assert validate_log_line(good) == []
+    assert validate_log_line({**good, "schema": "other/1"})
+    assert validate_log_line({**good, "ts": -5})
+    assert validate_log_line({**good, "level": "noise"})
+    assert validate_log_line({**good, "event": ""})
+    assert validate_log_line({**good, "cid": "nodash"})
+    missing = dict(good)
+    del missing["logger"]
+    assert validate_log_line(missing)

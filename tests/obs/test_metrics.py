@@ -1,0 +1,228 @@
+"""Tests for repro.obs.metrics — registry, instruments, exposition."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+)
+
+# --------------------------------------------------------------------- #
+# Instruments
+# --------------------------------------------------------------------- #
+
+
+def test_counter_inc():
+    reg = MetricsRegistry()
+    c = reg.counter("jobs_total", "jobs")
+    c.inc()
+    c.inc(3)
+    assert c.value == 4
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth", "queue depth")
+    g.set(5)
+    g.inc(2)
+    g.dec()
+    assert g.value == 6
+
+
+def test_callback_gauge():
+    reg = MetricsRegistry()
+    backing = {"n": 0}
+    reg.gauge("live", "live items", fn=lambda: backing["n"])
+    backing["n"] = 7
+    assert reg.get("live").value == 7
+
+
+def test_callback_gauge_exception_is_nan():
+    reg = MetricsRegistry()
+    reg.gauge("bad", "boom", fn=lambda: 1 / 0)
+    assert math.isnan(reg.get("bad").value)
+
+
+def test_callback_gauge_rebinds_on_reregistration():
+    reg = MetricsRegistry()
+    reg.gauge("live", "live items", fn=lambda: 1)
+    reg.gauge("live", "live items", fn=lambda: 2)
+    assert reg.get("live").value == 2
+
+
+def test_histogram_buckets_and_count():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", "latency", buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.5, 3.0, 100.0):
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == pytest.approx(105.0)
+
+
+def test_histogram_quantiles():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", "latency", buckets=(1.0, 2.0, 4.0, 8.0))
+    for v in [0.5] * 50 + [3.0] * 50:
+        h.observe(v)
+    assert 0.0 < h.quantile(0.25) <= 1.0
+    assert 2.0 < h.quantile(0.99) <= 4.0
+    assert reg.histogram("empty", "e").quantile(0.5) == 0.0
+
+
+def test_histogram_inf_observations_clamp_to_last_bound():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", "latency", buckets=(1.0, 2.0))
+    h.observe(50.0)
+    assert h.quantile(0.99) == pytest.approx(2.0)
+
+
+def test_default_latency_buckets_pinned():
+    # Log-scale x4 from 100 µs to ~26 s — the serve latency histograms
+    # depend on these exact bounds; changing them breaks dashboards.
+    assert DEFAULT_LATENCY_BUCKETS == pytest.approx(
+        (0.0001, 0.0004, 0.0016, 0.0064, 0.0256,
+         0.1024, 0.4096, 1.6384, 6.5536, 26.2144)
+    )
+
+
+# --------------------------------------------------------------------- #
+# Labels and registration
+# --------------------------------------------------------------------- #
+
+
+def test_labels_create_children():
+    reg = MetricsRegistry()
+    fam = reg.counter("req_total", "requests", labels=("route",))
+    fam.labels(route="a").inc()
+    fam.labels(route="a").inc()
+    fam.labels(route="b").inc(5)
+    children = {values[0]: child.value for values, child in fam.children()}
+    assert children == {"a": 2, "b": 5}
+
+
+def test_labels_validate_names():
+    reg = MetricsRegistry()
+    fam = reg.counter("req_total", "requests", labels=("route",))
+    with pytest.raises(ValueError):
+        fam.labels(method="GET")
+    with pytest.raises(ValueError):
+        fam.labels()
+
+
+def test_registration_is_idempotent():
+    reg = MetricsRegistry()
+    a = reg.counter("x_total", "x")
+    b = reg.counter("x_total", "x")
+    assert a is b
+
+
+def test_registration_kind_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.counter("x_total", "x")
+    with pytest.raises(ValueError):
+        reg.gauge("x_total", "x")
+    with pytest.raises(ValueError):
+        reg.counter("x_total", "x", labels=("route",))
+
+
+def test_invalid_metric_name_rejected():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("9bad", "bad name")
+    with pytest.raises(ValueError):
+        reg.counter("has space", "bad name")
+
+
+# --------------------------------------------------------------------- #
+# Exposition format (golden)
+# --------------------------------------------------------------------- #
+
+
+def test_render_golden():
+    reg = MetricsRegistry()
+    reg.counter("repro_requests_total", "Total requests.",
+                labels=("route",)).labels(route="health").inc(3)
+    reg.gauge("repro_depth", "Queue depth.").set(2)
+    h = reg.histogram("repro_seconds", "Latency.", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    assert reg.render() == (
+        "# HELP repro_depth Queue depth.\n"
+        "# TYPE repro_depth gauge\n"
+        "repro_depth 2\n"
+        "# HELP repro_requests_total Total requests.\n"
+        "# TYPE repro_requests_total counter\n"
+        'repro_requests_total{route="health"} 3\n'
+        "# HELP repro_seconds Latency.\n"
+        "# TYPE repro_seconds histogram\n"
+        'repro_seconds_bucket{le="0.1"} 1\n'
+        'repro_seconds_bucket{le="1"} 2\n'
+        'repro_seconds_bucket{le="+Inf"} 3\n'
+        "repro_seconds_sum 5.55\n"
+        "repro_seconds_count 3\n"
+    )
+
+
+def test_render_escapes_label_values():
+    reg = MetricsRegistry()
+    reg.counter("x_total", "x", labels=("k",)).labels(k='a"b\\c\nd').inc()
+    assert 'x_total{k="a\\"b\\\\c\\nd"} 1' in reg.render()
+
+
+def test_render_nonfinite_values():
+    reg = MetricsRegistry()
+    reg.gauge("g", "g").set(float("inf"))
+    assert "g +Inf\n" in reg.render()
+
+
+# --------------------------------------------------------------------- #
+# Concurrency, null registry, process default
+# --------------------------------------------------------------------- #
+
+
+def test_thread_safety_counters():
+    reg = MetricsRegistry()
+    c = reg.counter("n_total", "n")
+    h = reg.histogram("h", "h", buckets=(0.5,))
+
+    def work():
+        for _ in range(1000):
+            c.inc()
+            h.observe(0.1)
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value == 8000
+    assert h.count == 8000
+
+
+def test_null_registry_is_inert():
+    assert not NULL_REGISTRY.enabled
+    NULL_REGISTRY.counter("x_total", "x").inc()
+    NULL_REGISTRY.gauge("g", "g", labels=("a",)).labels(a="1").set(3)
+    NULL_REGISTRY.histogram("h", "h").observe(1.0)
+    assert NULL_REGISTRY.render() == ""
+    assert isinstance(NULL_REGISTRY, NullRegistry)
+
+
+def test_process_default_registry():
+    previous = get_registry()
+    try:
+        mine = MetricsRegistry()
+        set_registry(mine)
+        assert get_registry() is mine
+    finally:
+        set_registry(previous)

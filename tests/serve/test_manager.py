@@ -154,5 +154,7 @@ def test_stats_contract(manager):
         "created": 2,
         "restored": 0,
         "evictions": 1,
+        "budget_evictions": 0,
         "snapshots": 1,
+        "eviction_pressure": False,
     }

@@ -1,0 +1,277 @@
+"""Serve telemetry end-to-end: /v1/metrics exposition, counter consistency
+under concurrent bursts, readiness semantics of /v1/health, per-session
+stats quantiles, structured log validation, and the ``repro top`` renderer."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.graph.generators import caveman
+from repro.obs.logs import StructuredLogger, validate_log_line
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import (
+    ReproServer,
+    ServeClient,
+    ServeConfig,
+    ServeError,
+    SessionManager,
+    render_top,
+)
+from repro.serve.top import run_top
+
+
+def _edges_payload(graph):
+    if isinstance(graph, tuple):
+        graph = graph[0]
+    u, v, w = graph.edge_list(unique=True)
+    return {
+        "u": u.tolist(),
+        "v": v.tolist(),
+        "w": w.tolist(),
+        "num_vertices": graph.num_vertices,
+    }
+
+
+def _start(manager, *, logger=None):
+    srv = ReproServer(manager, port=0, logger=logger)
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=lambda: srv.run(ready=lambda _: ready.set()), daemon=True
+    )
+    thread.start()
+    assert ready.wait(10), "server did not start"
+    return srv, thread
+
+
+@pytest.fixture
+def harness(tmp_path):
+    """Server with an isolated registry and an in-memory structured log."""
+    registry = MetricsRegistry()
+    stream = io.StringIO()
+    logger = StructuredLogger("repro.serve", stream=stream, level="debug")
+    manager = SessionManager(
+        ServeConfig(max_sessions=4, snapshot_dir=tmp_path / "snaps"),
+        registry=registry,
+    )
+    srv, thread = _start(manager, logger=logger)
+    client = ServeClient(port=srv.port)
+    yield srv, client, registry, stream
+    client.close()
+    srv.request_shutdown()
+    thread.join(10)
+    assert not thread.is_alive()
+
+
+REQUIRED_SERIES = (
+    "repro_serve_requests_total",
+    "repro_serve_request_seconds_bucket",
+    "repro_serve_request_seconds_count",
+    "repro_serve_batch_requests_total",
+    "repro_serve_applies_total",
+    "repro_serve_coalesced_requests_total",
+    "repro_serve_coalesce_fold_ratio",
+    "repro_serve_apply_seconds_bucket",
+    "repro_serve_queue_depth",
+    "repro_serve_workers_busy",
+    "repro_serve_sessions_created_total",
+    "repro_serve_sessions_resident",
+    "repro_serve_resident_bytes",
+)
+
+
+def test_metrics_exposition_after_mixed_workload(harness):
+    srv, client, registry, _ = harness
+    client.create_session("alpha", edges=_edges_payload(caveman(4, 6)))
+    client.batch("alpha", add=([0], [7]))
+    client.batch("alpha", add=([1], [8]))
+    client.stats()
+    with pytest.raises(ServeError):
+        client.info("ghost")
+
+    text = client.metrics()
+    for series in REQUIRED_SERIES:
+        assert series in text, f"missing series {series}"
+    # Route templates, not raw paths: session names never become labels.
+    assert 'route="session/batch"' in text
+    assert 'route="sessions"' in text
+    assert "alpha" not in text.replace('session="alpha"', "")
+    assert 'repro_serve_errors_total{code="session_not_found"} 1' in text
+    assert 'session="alpha"' in text
+    # A second scrape sees the first one recorded under its own route label
+    # (scrapes are requests too, so exact render equality can never hold).
+    assert 'route="metrics"' in client.metrics()
+    # Latency histograms carry the pinned log-scale bucket bounds.
+    assert 'le="0.0001"' in text
+    assert 'le="26.2144"' in text
+    assert 'le="+Inf"' in text
+
+
+def test_counters_match_sequential_ledger(harness):
+    """Under concurrent bursts the counters must balance exactly:
+    every accepted batch request is either an apply leader or coalesced."""
+    srv, client, registry, _ = harness
+    client.create_session("alpha", edges=_edges_payload(caveman(4, 6)))
+
+    n_threads, per_thread = 6, 5
+    errors: list[Exception] = []
+
+    def fire(tid):
+        # Endpoints stay inside the 24-vertex caveman graph; u < 6 <= v
+        # so no self-loops regardless of interleaving.
+        try:
+            with ServeClient(port=srv.port) as c:
+                for i in range(per_thread):
+                    c.batch("alpha", add=([tid], [6 + (tid * per_thread + i) % 18]))
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=fire, args=(t,)) for t in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+
+    requests = registry.get("repro_serve_batch_requests_total").value
+    applies = registry.get("repro_serve_applies_total").value
+    coalesced = registry.get("repro_serve_coalesced_requests_total").value
+    assert requests == n_threads * per_thread
+    assert applies + coalesced == requests
+    assert applies >= 1
+    # Apply histogram saw exactly the applies.
+    hist = registry.get("repro_serve_apply_seconds").labels(session="alpha")
+    assert hist.count == applies
+    # Session state reflects every request exactly once (no lost updates).
+    info = client.info("alpha")
+    assert info["batches"] == applies
+
+    # Error counters match deliberately issued errors.
+    for _ in range(3):
+        with pytest.raises(ServeError):
+            client.members("ghost", 0)
+    text = client.metrics()
+    assert 'repro_serve_errors_total{code="session_not_found"} 3' in text
+
+
+def test_health_ready_degraded_draining(tmp_path):
+    registry = MetricsRegistry()
+    # A byte budget small enough that a second session evicts the first.
+    manager = SessionManager(
+        ServeConfig(max_sessions=4, max_bytes=1, snapshot_dir=tmp_path / "s"),
+        registry=registry,
+    )
+    srv, thread = _start(manager)
+    try:
+        with ServeClient(port=srv.port) as client:
+            assert client.health() == {"ok": True, "status": "ready"}
+
+            client.create_session("a", edges=_edges_payload(caveman(3, 5)))
+            client.create_session("b", edges=_edges_payload(caveman(3, 5)))
+            assert manager.eviction_pressure
+            health = client.health()
+            assert health == {"ok": False, "status": "degraded"}
+            # Liveness probe ignores readiness.
+            assert client.health(live=True) == {"ok": True, "status": "alive"}
+
+            # Deleting sessions relieves the pressure.
+            for name in [s["name"] for s in client.list_sessions()]:
+                client.delete(name)
+            assert client.health()["status"] == "ready"
+
+            srv._draining = True
+            assert client.health() == {"ok": False, "status": "draining"}
+            assert client.health(live=True)["status"] == "alive"
+            assert registry.get("repro_serve_budget_evictions_total").value >= 1
+    finally:
+        srv.request_shutdown()
+        thread.join(10)
+
+
+def test_stats_per_session_quantiles(harness):
+    srv, client, registry, _ = harness
+    client.create_session("alpha", edges=_edges_payload(caveman(4, 6)))
+    client.batch("alpha", add=([0], [9]))
+    client.batch("alpha", add=([1], [10]))
+    stats = client.stats()
+    assert stats["status"] == "ready"
+    per = stats["per_session"]["alpha"]
+    assert per["queue_depth"] == 0
+    assert per["applies"] >= 1
+    assert 0.0 < per["apply_p50_seconds"] <= per["apply_p99_seconds"]
+
+
+def test_metrics_disabled_returns_not_found(tmp_path):
+    manager = SessionManager(
+        ServeConfig(metrics=False, snapshot_dir=tmp_path / "s")
+    )
+    srv, thread = _start(manager)
+    try:
+        with ServeClient(port=srv.port) as client:
+            with pytest.raises(ServeError) as err:
+                client.metrics()
+            assert err.value.code == "not_found"
+            # The rest of the API is unaffected.
+            client.create_session("a", edges=_edges_payload(caveman(3, 5)))
+            client.batch("a", add=([0], [5]))
+    finally:
+        srv.request_shutdown()
+        thread.join(10)
+
+
+def test_structured_log_lines_validate(harness):
+    srv, client, registry, stream = harness
+    client.create_session("alpha", edges=_edges_payload(caveman(4, 6)))
+    client.batch("alpha", add=([0], [7]))
+    client.snapshot("alpha")
+    with pytest.raises(ServeError):
+        client.info("ghost")
+
+    lines = [json.loads(ln) for ln in stream.getvalue().splitlines()]
+    assert lines, "no log lines emitted"
+    for line in lines:
+        assert validate_log_line(line) == [], (line, validate_log_line(line))
+    events = [ln["event"] for ln in lines]
+    assert "server_started" in events
+    assert "session_created" in events
+    assert "batch_applied" in events
+    assert "snapshot_written" in events
+    assert "request_error" in events
+
+    applied = next(ln for ln in lines if ln["event"] == "batch_applied")
+    # The correlation triple: batch_applied carries the span path of the
+    # trace span for this apply plus the request cids it folded.
+    assert applied["span_path"].startswith("batch[")
+    assert applied["session"] == "alpha"
+    assert applied["cids"] and all("-" in c for c in applied["cids"])
+    created = next(ln for ln in lines if ln["event"] == "session_created")
+    assert "cid" in created
+
+
+def test_top_renderer_and_cli(harness):
+    srv, client, registry, _ = harness
+    client.create_session("alpha", edges=_edges_payload(caveman(4, 6)))
+    client.batch("alpha", add=([0], [7]))
+    stats = client.stats()
+
+    frame = render_top(stats, url="http://x")
+    assert "alpha" in frame
+    assert "status: ready" in frame
+    assert "p50 ms" in frame
+
+    # batches/s from a poll delta.
+    later = json.loads(json.dumps(stats))
+    later["batches"]["requests"] += 10
+    frame2 = render_top(later, prev=stats, elapsed=2.0, url="http://x")
+    assert "batches/s 5.0" in frame2
+
+    out = io.StringIO()
+    assert run_top(port=srv.port, once=True, out=out) == 0
+    assert "alpha" in out.getvalue()
+    # Unreachable server exits 1.
+    assert run_top(port=1, once=True, out=io.StringIO()) == 1
