@@ -9,11 +9,15 @@ documented lifecycle over the wire with :class:`repro.serve.ServeClient`:
 3. partition queries (community_of / members / top-k),
 4. RunReport retrieval with the config fingerprint,
 5. snapshot + evict, then a query that transparently restores,
-6. error-code checks (404 / 409 / 400 paths),
-7. /v1/metrics scrape — required series present with sane values,
-8. delete, shutdown, and a clean subprocess exit,
-9. every structured log line the server emitted validates against the
-   ``repro.log/1`` schema, with session_created / batch_applied present.
+6. error-code checks (404 / 409 / 400 paths) — every error response
+   carries an ``X-Repro-Cid`` header the client surfaces,
+7. /v1/metrics scrape — required series present with sane values, and
+   slow-path histograms carry ``# {...}`` exemplars with trace ids,
+8. /v1/debug/flight returns a validating ``repro.flight/1`` snapshot,
+   and ``repro debug-bundle`` builds a tarball from the live server,
+9. delete, shutdown, and a clean subprocess exit,
+10. every structured log line the server emitted validates against the
+    ``repro.log/1`` schema, with session_created / batch_applied present.
 
 Exits 0 on success; any assertion or protocol error is fatal.  Run from
 the repository root: ``python scripts/serve_smoke.py``.
@@ -32,6 +36,7 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
+from repro.obs.flight import stitch_spans, validate_flight  # noqa: E402
 from repro.obs.logs import validate_log_line  # noqa: E402
 from repro.serve import ServeClient, ServeError  # noqa: E402
 
@@ -63,6 +68,9 @@ def series_value(text: str, name: str, **labels: str) -> float:
     for line in text.splitlines():
         if not line.startswith(name) or line.startswith("#"):
             continue
+        # Exemplar'd lines end with " # {labels} value ts" — the series
+        # value is whatever precedes that suffix.
+        line = line.split(" # ", 1)[0]
         metric, _, value = line.rpartition(" ")
         base, _, label_str = metric.partition("{")
         if base != name:
@@ -78,7 +86,10 @@ def expect_error(code: str, fn) -> None:
         fn()
     except ServeError as exc:
         assert exc.code == code, f"expected {code}, got {exc.code}: {exc.message}"
-        print(f"  error path ok: {code} (HTTP {exc.status})")
+        assert exc.cid and exc.cid.startswith("req-"), (
+            f"error envelope for {code} lost its correlation id: {exc.cid!r}"
+        )
+        print(f"  error path ok: {code} (HTTP {exc.status}, cid {exc.cid})")
         return
     raise AssertionError(f"expected ServeError {code}, got success")
 
@@ -87,9 +98,11 @@ def main() -> int:
     snapshot_dir = tempfile.mkdtemp(prefix="repro-serve-smoke-")
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    flight_dir = str(Path(snapshot_dir) / "flight")
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--port", "0",
-         "--snapshot-dir", snapshot_dir, "--max-sessions", "4"],
+         "--snapshot-dir", snapshot_dir, "--max-sessions", "4",
+         "--flight-dir", flight_dir, "--exemplar-ms", "0"],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
         cwd=REPO,
     )
@@ -112,9 +125,14 @@ def main() -> int:
 
         client = ServeClient(port=port)
         health = client.health()
-        assert health == {"ok": True, "status": "ready"}, health
-        assert client.health(live=True) == {"ok": True, "status": "alive"}
-        print("health ok: ready; liveness probe alive")
+        assert health["ok"] is True and health["status"] == "ready", health
+        assert health["uptime_seconds"] >= 0.0, health
+        assert health["version"] and health["build"], health
+        live = client.health(live=True)
+        assert live["ok"] is True and live["status"] == "alive", live
+        assert client.last_cid and client.last_cid.startswith("req-")
+        print(f"health ok: ready; liveness probe alive "
+              f"(v{health['version']} build {health['build']})")
 
         # 1. two sessions
         left = client.create_session(
@@ -209,10 +227,56 @@ def main() -> int:
         assert series_value(
             text, "repro_serve_requests_total",
             route="session/batch", method="POST") == 7
+        # With --exemplar-ms 0 every batch observation carries an
+        # exemplar; the exposition suffixes its bucket line with one.
+        exemplar_lines = [
+            line for line in text.splitlines()
+            if line.startswith("repro_serve_apply_seconds_bucket")
+            and " # {" in line and 'trace_id="tr-' in line
+        ]
+        assert exemplar_lines, "no exemplars in the apply histogram"
+        stats = client.stats()
+        assert stats["uptime_seconds"] >= 0.0 and stats["version"], stats
+        exemplar_rows = stats["exemplars"]["repro_serve_apply_seconds"]
+        trace_id = next(
+            row["exemplar"]["labels"]["trace_id"]
+            for row in exemplar_rows
+            if row["exemplar"]["labels"].get("trace_id")
+        )
         print(f"metrics ok: {len(REQUIRED_SERIES)} required series, "
-              f"{applies:.0f} applies + {coalesced:.0f} coalesced")
+              f"{applies:.0f} applies + {coalesced:.0f} coalesced, "
+              f"exemplar → {trace_id}")
 
-        # 8. delete and clean shutdown
+        # 8. flight recorder snapshot + debug bundle
+        flight = client.debug_flight()
+        problems = validate_flight(flight)
+        assert not problems, problems
+        assert flight["source"] == "ring" and flight["entries"]
+        resolved = client.debug_flight(trace_id=trace_id, kinds="span")
+        assert resolved["entries"], f"exemplar trace {trace_id} not in ring"
+        trees = stitch_spans(resolved["entries"])
+        assert trace_id in trees, (trace_id, sorted(trees))
+        bundle_path = Path(snapshot_dir) / "smoke-bundle.tar.gz"
+        bundle = subprocess.run(
+            [sys.executable, "-m", "repro", "debug-bundle",
+             "--port", str(port), "--flight-dir", flight_dir,
+             "-o", str(bundle_path)],
+            capture_output=True, text=True, env=env, cwd=REPO, timeout=60,
+        )
+        assert bundle.returncode == 0, bundle.stderr
+        assert bundle_path.exists()
+        import tarfile
+
+        with tarfile.open(bundle_path) as tar:
+            names = set(tar.getnames())
+            assert {"flight.json", "metrics.txt", "stats.json",
+                    "MANIFEST.json"} <= names, names
+            bundled = json.load(tar.extractfile("flight.json"))
+        assert not validate_flight(bundled), "bundled flight invalid"
+        print(f"flight ok: {len(flight['entries'])} ring entries, "
+              f"trace {trace_id} stitches; bundle has {len(names)} pieces")
+
+        # 9. delete and clean shutdown
         client.delete("right")
         assert [r["name"] for r in client.list_sessions()] == ["left"]
         client.shutdown()
@@ -220,7 +284,7 @@ def main() -> int:
         assert code == 0, f"server exited {code}"
         print("clean shutdown: exit 0")
 
-        # 9. every structured log line validates against repro.log/1
+        # 10. every structured log line validates against repro.log/1
         captured.extend(proc.stdout.readlines())
         records = []
         for line in captured:

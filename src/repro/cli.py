@@ -135,11 +135,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="rng seed for --synthetic")
     stream.add_argument(
         "--algo",
-        choices=["louvain", "lpa", "leiden"],
+        choices=["louvain", "lpa", "leiden", "sharded"],
         default="louvain",
         help="detection algorithm for the session (leiden refines every "
              "contraction, fixing deletion-induced disconnected "
-             "communities; lpa = frontier-seeded label propagation)",
+             "communities; lpa = frontier-seeded label propagation; "
+             "sharded = multi-process Louvain for full-pipeline batches)",
     )
     stream.add_argument("--screening", choices=["local", "exact"], default="local",
                         help="delta-screening mode (exact = bit-parity with a "
@@ -215,6 +216,47 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--log-level", default="info",
                        choices=("debug", "info", "warning", "error", "off"),
                        help="structured JSON log level on stderr (default info)")
+    serve.add_argument("--no-flight", action="store_true",
+                       help="disable the flight recorder (GET /v1/debug/flight, "
+                            "crash journals, debug bundles)")
+    serve.add_argument("--flight-bytes", type=int, default=1 << 20,
+                       help="flight-recorder ring budget in bytes "
+                            "(default 1 MiB)")
+    serve.add_argument("--flight-dir", default=None,
+                       help="directory for crash-surviving flight journals "
+                            "(default <snapshot-dir>/flight; 'none' disables "
+                            "journaling, keeping the in-memory ring only)")
+    serve.add_argument("--stall-seconds", type=float, default=0.0,
+                       help="watchdog: write a debug bundle when one apply "
+                            "blocks the session worker longer than this "
+                            "(0 = off)")
+    serve.add_argument("--exemplar-ms", type=float, default=50.0,
+                       help="attach trace-id exemplars to latency histogram "
+                            "observations at or above this many milliseconds "
+                            "(0 = every observation)")
+
+    bundle = sub.add_parser(
+        "debug-bundle",
+        help="collect a debugging tarball (flight snapshot, metrics, stats, "
+             "environment, bench-trajectory tail) from a live server or from "
+             "crash journals",
+    )
+    bundle.add_argument("--host", default="127.0.0.1",
+                        help="server address (default 127.0.0.1)")
+    bundle.add_argument("--port", type=int, default=8077,
+                        help="server port; pass 0 to skip the live server and "
+                             "read --flight-dir journals only (default 8077)")
+    bundle.add_argument("--flight-dir", default=None,
+                        help="flight-journal directory to fall back to when "
+                             "the server is unreachable (e.g. after a crash)")
+    bundle.add_argument("--trajectory",
+                        default="benchmarks/results/BENCH_trajectory.json",
+                        help="bench-trajectory store whose tail to include")
+    bundle.add_argument("--timeout", type=float, default=5.0,
+                        help="live-server request timeout (default 5 s)")
+    bundle.add_argument("-o", "--out", default=None,
+                        help="output tarball path "
+                             "(default debug-bundle-<pid>.tar.gz)")
 
     top = sub.add_parser(
         "top", help="live dashboard over a running repro.serve server"
@@ -735,11 +777,21 @@ def _cmd_suite(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
     import signal
+    import traceback
+    from pathlib import Path
 
+    from .obs.flight import build_debug_bundle, get_flight_recorder
     from .obs.logs import StructuredLogger
     from .serve import ReproServer, ServeConfig, SessionManager
 
+    if args.flight_dir == "none":
+        flight_dir = None
+    elif args.flight_dir is not None:
+        flight_dir = args.flight_dir
+    else:
+        flight_dir = str(Path(args.snapshot_dir) / "flight")
     manager = SessionManager(
         ServeConfig(
             max_sessions=args.max_sessions,
@@ -749,6 +801,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             coalesce=not args.no_coalesce,
             metrics=not args.no_metrics,
             slow_request_seconds=args.slow_request_ms / 1000.0,
+            flight=not args.no_flight,
+            flight_bytes=args.flight_bytes,
+            flight_dir=None if args.no_flight else flight_dir,
+            exemplar_seconds=args.exemplar_ms / 1000.0,
+            stall_seconds=args.stall_seconds,
         )
     )
     logger = (
@@ -762,6 +819,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         coalesce=not args.no_coalesce, logger=logger,
     )
     signal.signal(signal.SIGTERM, lambda *_: server.request_shutdown())
+
+    if not args.no_flight:
+        def dump_flight(*_sig) -> None:
+            # SIGUSR2: dump the live ring next to the journals (or the
+            # snapshot dir when journaling is off) without stopping.
+            target = Path(flight_dir or args.snapshot_dir)
+            target.mkdir(parents=True, exist_ok=True)
+            out = target / f"flight-dump-{os.getpid()}.json"
+            get_flight_recorder().dump(out)
+            print(f"flight snapshot written to {out}", flush=True)
+
+        signal.signal(signal.SIGUSR2, dump_flight)
+
+        previous_hook = sys.excepthook
+
+        def crash_bundle(exc_type, exc, tb) -> None:
+            # Unhandled crash: best-effort bundle from in-process state
+            # before the traceback prints (port=None — the server loop
+            # is already dead).
+            try:
+                target = Path(flight_dir or args.snapshot_dir)
+                target.mkdir(parents=True, exist_ok=True)
+                out = target / f"bundle-crash-{os.getpid()}.tar.gz"
+                build_debug_bundle(
+                    out, port=None, flight_dir=flight_dir,
+                    reason=f"crash: {exc_type.__name__}: {exc}",
+                )
+                print(f"crash debug bundle written to {out}", file=sys.stderr,
+                      flush=True)
+            except Exception:  # noqa: BLE001 - never mask the real crash
+                traceback.print_exc()
+            previous_hook(exc_type, exc, tb)
+
+        sys.excepthook = crash_bundle
 
     def ready(srv: ReproServer) -> None:
         print(f"repro.serve listening on http://{srv.host}:{srv.port}", flush=True)
@@ -928,6 +1019,27 @@ def _cmd_bench_gate(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_debug_bundle(args: argparse.Namespace) -> int:
+    import json as _json
+    import os
+
+    from .obs.flight import build_debug_bundle
+
+    out = args.out or f"debug-bundle-{os.getpid()}.tar.gz"
+    manifest = build_debug_bundle(
+        out,
+        host=args.host,
+        port=args.port or None,
+        flight_dir=args.flight_dir,
+        trajectory=args.trajectory,
+        timeout=args.timeout,
+        reason="cli",
+    )
+    print(f"debug bundle written to {out}")
+    print(_json.dumps(manifest, indent=2))
+    return 0 if manifest["pieces"] else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -943,6 +1055,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_suite(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "debug-bundle":
+        return _cmd_debug_bundle(args)
     if args.command == "top":
         return _cmd_top(args)
     if args.command == "trace-summary":

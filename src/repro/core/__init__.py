@@ -14,6 +14,7 @@ from .engine import (
     LabelPropagationEngine,
     LeidenEngine,
     LouvainEngine,
+    ShardedEngine,
     SolverEngine,
     get_engine,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "LouvainEngine",
     "LeidenEngine",
     "LabelPropagationEngine",
+    "ShardedEngine",
     "SolverEngine",
     "get_engine",
     "ALGO_NAMES",

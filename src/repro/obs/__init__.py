@@ -19,7 +19,11 @@ PR 3 made every engine *emit* span trees; this package *consumes* them:
   ``GET /v1/metrics``;
 * :mod:`repro.obs.logs` — structured JSON logging (``repro.log/1``)
   with per-request/per-batch correlation ids tying log lines to trace
-  span paths.
+  span paths;
+* :mod:`repro.obs.flight` — the always-on flight recorder
+  (``repro.flight/1``): a byte-budgeted ring of recent spans / log
+  lines / metric deltas with crash-surviving journals, a stall
+  watchdog, and ``repro debug-bundle`` tarballs.
 
 CLI verbs: ``repro trace-summary``, ``repro trace-diff``,
 ``repro trajectory``, ``repro bench-gate``.
@@ -41,6 +45,19 @@ from .metrics import (
     NullRegistry,
     get_registry,
     set_registry,
+)
+from .flight import (
+    FLIGHT_SCHEMA,
+    NULL_FLIGHT,
+    FlightRecorder,
+    NullFlightRecorder,
+    Watchdog,
+    build_debug_bundle,
+    get_flight_recorder,
+    load_journal,
+    set_flight_recorder,
+    stitch_spans,
+    validate_flight,
 )
 from .analyze import (
     LevelMetrics,
@@ -90,6 +107,18 @@ __all__ = [
     "current_correlation_id",
     "new_correlation_id",
     "validate_log_line",
+    # flight
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_FLIGHT",
+    "get_flight_recorder",
+    "set_flight_recorder",
+    "validate_flight",
+    "load_journal",
+    "stitch_spans",
+    "Watchdog",
+    "build_debug_bundle",
     # analyze
     "PathAggregate",
     "span_component",

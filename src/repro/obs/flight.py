@@ -1,0 +1,751 @@
+"""Flight recorder: the last N bytes of runtime, always recoverable.
+
+Metrics (:mod:`repro.obs.metrics`) answer "how is the fleet doing";
+trace reports (:mod:`repro.trace`) answer "how did one finished run
+behave".  Neither survives a crash nor explains a stall that never
+finishes.  This module fills that gap with an always-on, bounded-cost
+**flight recorder** plus the dump paths around it:
+
+* :class:`FlightRecorder` — a per-process byte-budgeted ring of recent
+  *completed spans*, *structured log lines* and *metric-delta samples*.
+  Appends cost one ``json.dumps`` and one lock acquisition; eviction is
+  O(1) from the left and per-kind drop counters make any loss visible.
+  With ``journal=`` set, every entry is also appended (flushed, so it
+  survives ``SIGKILL``) to a size-rotated JSONL journal for offline
+  reconstruction via :func:`load_journal`.
+* ``repro.flight/1`` — the snapshot document schema, checked by
+  :func:`validate_flight` and served by ``GET /v1/debug/flight``.
+* :class:`Watchdog` — fires a callback when an armed operation makes no
+  progress for a stall window (the serve layer arms it around each
+  session apply and dumps a flight snapshot on stall).
+* :func:`build_debug_bundle` — one ``.tar.gz`` with the flight
+  snapshot (live from a server, or rebuilt from journals after a
+  crash), metrics exposition, stats, environment and the trajectory
+  tail: everything a bug report needs.
+* :func:`stitch_spans` — rebuild an approximate span tree from ring
+  span entries via their recorded paths, grouped by trace id.
+
+Schema (``repro.flight/1``)
+---------------------------
+A snapshot is a JSON object::
+
+    {
+      "schema": "repro.flight/1",
+      "pid": int,                      # absent for journal reconstructions
+      "source": "ring" | "journal",
+      "created": float, "captured": float,
+      "max_bytes": int, "bytes": int,
+      "recorded": {"span": int, "log": int, "metric": int},
+      "dropped":  {"span": int, "log": int, "metric": int},
+      "entries": [Entry, ...]          # oldest first
+    }
+
+    Entry = {"kind": "span",   "ts": float, "name": str, "path": str,
+             "seconds": float, "trace_id"?: str, "cid"?: str,
+             "attributes"?: {...}, "counters"?: {...}}
+          | {"kind": "log",    "ts": float, "record": {...},  # repro.log/1
+             "cid"?: str}
+          | {"kind": "metric", "ts": float, "name": str, "value": float,
+             "labels"?: {str: str}}
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tarfile
+import threading
+import time
+from collections import deque
+from io import BytesIO
+from pathlib import Path
+from typing import Any
+
+from ..trace import Span, current_trace_context
+from .logs import current_correlation_id
+
+__all__ = [
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_FLIGHT",
+    "get_flight_recorder",
+    "set_flight_recorder",
+    "validate_flight",
+    "load_journal",
+    "stitch_spans",
+    "Watchdog",
+    "build_debug_bundle",
+]
+
+FLIGHT_SCHEMA = "repro.flight/1"
+
+#: Entry kinds a recorder accepts (each has its own drop counter).
+KINDS = ("span", "log", "metric")
+
+#: Default ring budget: 1 MiB ≈ a few thousand span entries.
+DEFAULT_MAX_BYTES = 1 << 20
+
+
+def _json_safe(value: Any) -> Any:
+    """Clamp arbitrary values into strict JSON (mirrors repro.obs.logs)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class FlightRecorder:
+    """A byte-budgeted ring buffer of recent runtime evidence.
+
+    Entries are stored pre-serialised (one compact JSON line each), so
+    the byte budget is exact: the sum of stored line lengths (newline
+    included) never exceeds ``max_bytes`` — the invariant a property
+    test pins.  One :class:`threading.Lock` guards the deque; the
+    expensive part (``json.dumps``) happens outside it.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        *,
+        journal: str | Path | None = None,
+        journal_max_bytes: int | None = None,
+        clock=time.time,
+    ) -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = int(max_bytes)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: deque[tuple[int, str, str]] = deque()  # (size, kind, line)
+        self._bytes = 0
+        self.created = float(clock())
+        self.recorded = dict.fromkeys(KINDS, 0)
+        self.dropped = dict.fromkeys(KINDS, 0)
+        self.journal_path = Path(journal) if journal is not None else None
+        self._journal = None
+        self._journal_bytes = 0
+        # The journal may hold several ring-fulls before rotating; it is
+        # rewritten from the live ring when it crosses this limit.
+        self._journal_limit = int(
+            journal_max_bytes
+            if journal_max_bytes is not None
+            else max(4 * self.max_bytes, DEFAULT_MAX_BYTES)
+        )
+        if self.journal_path is not None:
+            self.journal_path.parent.mkdir(parents=True, exist_ok=True)
+            self._journal = open(self.journal_path, "a", encoding="utf-8")
+            self._journal_bytes = self._journal.tell()
+
+    # ----------------------------------------------------------------- #
+    # Recording
+    # ----------------------------------------------------------------- #
+    def record_span(
+        self,
+        name: str,
+        *,
+        path: str | None = None,
+        seconds: float = 0.0,
+        trace_id: str | None = None,
+        cid: str | None = None,
+        attributes: dict[str, Any] | None = None,
+        counters: dict[str, float] | None = None,
+    ) -> None:
+        """Record one *completed* span (closed ``with``-block or event)."""
+        if trace_id is None:
+            ctx = current_trace_context()
+            if ctx is not None:
+                trace_id = ctx.trace_id
+        if cid is None:
+            cid = current_correlation_id()
+        entry: dict[str, Any] = {
+            "kind": "span",
+            "ts": round(float(self._clock()), 6),
+            "name": str(name),
+            "path": str(path) if path else str(name),
+            "seconds": round(float(seconds), 6),
+        }
+        if trace_id:
+            entry["trace_id"] = trace_id
+        if cid:
+            entry["cid"] = cid
+        if attributes:
+            entry["attributes"] = attributes
+        if counters:
+            entry["counters"] = counters
+        self._record(entry)
+
+    def record_log(self, record: dict[str, Any]) -> None:
+        """Tee one already-built ``repro.log/1`` record into the ring."""
+        entry: dict[str, Any] = {
+            "kind": "log",
+            "ts": float(record.get("ts") or self._clock()),
+            "record": record,
+        }
+        cid = record.get("cid")
+        if cid:
+            entry["cid"] = cid
+        trace_id = record.get("trace_id")
+        if trace_id:
+            entry["trace_id"] = trace_id
+        self._record(entry)
+
+    def record_metric(
+        self,
+        name: str,
+        value: float,
+        *,
+        labels: dict[str, str] | None = None,
+    ) -> None:
+        """Record one metric sample (typically a delta since last sample)."""
+        entry: dict[str, Any] = {
+            "kind": "metric",
+            "ts": round(float(self._clock()), 6),
+            "name": str(name),
+            "value": float(value),
+        }
+        if labels:
+            entry["labels"] = {str(k): str(v) for k, v in labels.items()}
+        self._record(entry)
+
+    def _record(self, entry: dict[str, Any]) -> None:
+        # recorded counts every offer, dropped every loss (serialisation
+        # failure, oversize reject, or eviction) — so at all times
+        # ``recorded - dropped == len(entries)``.
+        kind = entry["kind"]
+        try:
+            line = json.dumps(
+                _json_safe(entry), separators=(",", ":"), allow_nan=False
+            )
+        except (TypeError, ValueError):
+            with self._lock:
+                self.recorded[kind] += 1
+                self.dropped[kind] += 1
+            return
+        size = len(line) + 1
+        with self._lock:
+            self.recorded[kind] += 1
+            if size > self.max_bytes:
+                self.dropped[kind] += 1
+                return
+            self._entries.append((size, kind, line))
+            self._bytes += size
+            while self._bytes > self.max_bytes:
+                old_size, old_kind, _ = self._entries.popleft()
+                self._bytes -= old_size
+                self.dropped[old_kind] += 1
+            if self._journal is not None:
+                try:
+                    self._journal.write(line + "\n")
+                    self._journal.flush()
+                    self._journal_bytes += size
+                    if self._journal_bytes > self._journal_limit:
+                        self._rotate_journal_locked()
+                except OSError:
+                    # Disk trouble must never take the request path down.
+                    self._journal.close()
+                    self._journal = None
+
+    def _rotate_journal_locked(self) -> None:
+        """Rewrite the journal from the live ring (caller holds the lock)."""
+        self._journal.close()
+        self._journal = open(self.journal_path, "w", encoding="utf-8")
+        for _, _, line in self._entries:
+            self._journal.write(line + "\n")
+        self._journal.flush()
+        self._journal_bytes = self._bytes
+
+    # ----------------------------------------------------------------- #
+    # Reading
+    # ----------------------------------------------------------------- #
+    @property
+    def bytes(self) -> int:
+        return self._bytes
+
+    def snapshot(
+        self,
+        *,
+        trace_id: str | None = None,
+        cid: str | None = None,
+        kinds: tuple[str, ...] | None = None,
+    ) -> dict[str, Any]:
+        """The current ring as a ``repro.flight/1`` document (oldest first)."""
+        with self._lock:
+            lines = [line for _, _, line in self._entries]
+            total = self._bytes
+            recorded = dict(self.recorded)
+            dropped = dict(self.dropped)
+        entries = [json.loads(line) for line in lines]
+        if kinds is not None:
+            entries = [e for e in entries if e.get("kind") in kinds]
+        if trace_id is not None:
+            entries = [e for e in entries if e.get("trace_id") == trace_id]
+        if cid is not None:
+            entries = [e for e in entries if e.get("cid") == cid]
+        return {
+            "schema": FLIGHT_SCHEMA,
+            "pid": os.getpid(),
+            "source": "ring",
+            "created": self.created,
+            "captured": round(float(self._clock()), 6),
+            "max_bytes": self.max_bytes,
+            "bytes": total,
+            "recorded": recorded,
+            "dropped": dropped,
+            "entries": entries,
+        }
+
+    def dump(self, path: str | Path) -> Path:
+        """Write a full snapshot as indented JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.snapshot(), indent=2) + "\n")
+        return path
+
+    def close(self) -> None:
+        with self._lock:
+            if self._journal is not None:
+                self._journal.close()
+                self._journal = None
+
+
+class NullFlightRecorder:
+    """The disabled twin: absorbs records, snapshots empty."""
+
+    enabled = False
+    max_bytes = 0
+    journal_path = None
+
+    def record_span(self, name: str, **kwargs: Any) -> None:
+        pass
+
+    def record_log(self, record: dict[str, Any]) -> None:
+        pass
+
+    def record_metric(self, name: str, value: float, **kwargs: Any) -> None:
+        pass
+
+    @property
+    def bytes(self) -> int:
+        return 0
+
+    def snapshot(self, **kwargs: Any) -> dict[str, Any]:
+        return {
+            "schema": FLIGHT_SCHEMA,
+            "pid": os.getpid(),
+            "source": "ring",
+            "created": 0.0,
+            "captured": 0.0,
+            "max_bytes": 0,
+            "bytes": 0,
+            "recorded": dict.fromkeys(KINDS, 0),
+            "dropped": dict.fromkeys(KINDS, 0),
+            "entries": [],
+        }
+
+    def dump(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.snapshot(), indent=2) + "\n")
+        return path
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared inert recorder for the disabled path.
+NULL_FLIGHT = NullFlightRecorder()
+
+_flight_lock = threading.Lock()
+_flight: FlightRecorder | NullFlightRecorder = NULL_FLIGHT
+
+
+def get_flight_recorder() -> FlightRecorder | NullFlightRecorder:
+    """The process-wide recorder (``NULL_FLIGHT`` until one is set)."""
+    return _flight
+
+
+def set_flight_recorder(recorder) -> None:
+    """Install the process-wide recorder (``None`` → ``NULL_FLIGHT``)."""
+    global _flight
+    with _flight_lock:
+        _flight = NULL_FLIGHT if recorder is None else recorder
+
+
+# --------------------------------------------------------------------- #
+# Validation + journal reconstruction
+# --------------------------------------------------------------------- #
+def validate_flight(data: Any) -> list[str]:
+    """Check a snapshot against ``repro.flight/1``; empty list = valid."""
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        return ["flight snapshot must be a JSON object"]
+    if data.get("schema") != FLIGHT_SCHEMA:
+        problems.append(
+            f"schema must be {FLIGHT_SCHEMA!r}, got {data.get('schema')!r}"
+        )
+    entries = data.get("entries")
+    if not isinstance(entries, list):
+        return problems + ["'entries' must be a list"]
+    for key in ("recorded", "dropped"):
+        if key in data and not isinstance(data[key], dict):
+            problems.append(f"{key!r} must be an object")
+    for i, entry in enumerate(entries):
+        where = f"entries[{i}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: entry must be an object")
+            continue
+        kind = entry.get("kind")
+        if kind not in KINDS:
+            problems.append(f"{where}: unknown kind {kind!r}")
+            continue
+        ts = entry.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts <= 0:
+            problems.append(f"{where}: ts must be a positive number")
+        if kind == "span":
+            for field in ("name", "path"):
+                if not isinstance(entry.get(field), str) or not entry.get(field):
+                    problems.append(f"{where}: span {field} must be a string")
+            seconds = entry.get("seconds")
+            if not isinstance(seconds, (int, float)) or not math.isfinite(
+                float(seconds)
+            ):
+                problems.append(f"{where}: span seconds must be a finite number")
+        elif kind == "log":
+            if not isinstance(entry.get("record"), dict):
+                problems.append(f"{where}: log record must be an object")
+        else:  # metric
+            if not isinstance(entry.get("name"), str) or not entry.get("name"):
+                problems.append(f"{where}: metric name must be a string")
+            value = entry.get("value")
+            if not isinstance(value, (int, float)):
+                problems.append(f"{where}: metric value must be a number")
+    return problems
+
+
+def load_journal(
+    path: str | Path, *, max_bytes: int | None = None
+) -> dict[str, Any]:
+    """Rebuild a snapshot from journal file(s) — the post-crash path.
+
+    ``path`` is one ``.jsonl`` journal or a directory of
+    ``flight-*.jsonl`` journals (one per recorded process).  A torn
+    final line (the process died mid-write) is skipped, not fatal.
+    With ``max_bytes`` only the newest entries fitting the budget are
+    kept (matching what the live ring would have held).
+    """
+    path = Path(path)
+    if path.is_dir():
+        files = sorted(path.glob("flight-*.jsonl")) or sorted(path.glob("*.jsonl"))
+    else:
+        files = [path]
+    entries: list[dict[str, Any]] = []
+    torn = 0
+    for file in files:
+        try:
+            text = file.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                torn += 1
+                continue
+            if isinstance(entry, dict) and entry.get("kind") in KINDS:
+                entries.append(entry)
+    entries.sort(key=lambda e: e.get("ts") or 0.0)
+    if max_bytes is not None:
+        kept: deque[dict[str, Any]] = deque()
+        used = 0
+        for entry in reversed(entries):
+            size = len(json.dumps(entry, separators=(",", ":"))) + 1
+            if used + size > max_bytes:
+                break
+            kept.appendleft(entry)
+            used += size
+        entries = list(kept)
+    recorded = dict.fromkeys(KINDS, 0)
+    for entry in entries:
+        recorded[entry["kind"]] += 1
+    return {
+        "schema": FLIGHT_SCHEMA,
+        "source": "journal",
+        "journal_files": [str(f) for f in files],
+        "torn_lines": torn,
+        "captured": round(time.time(), 6),
+        "max_bytes": max_bytes or 0,
+        "bytes": sum(
+            len(json.dumps(e, separators=(",", ":"))) + 1 for e in entries
+        ),
+        "recorded": recorded,
+        "dropped": dict.fromkeys(KINDS, 0),
+        "entries": entries,
+    }
+
+
+def stitch_spans(
+    entries: list[dict[str, Any]], *, trace_id: str | None = None
+) -> dict[str, Span]:
+    """Rebuild approximate span trees from flight ``span`` entries.
+
+    Returns ``{trace_id: root Span}`` — one stitched tree per trace id
+    (entries without one group under ``"untraced"``).  Entries are
+    merged by their recorded ``path``: repeated closes of the same path
+    (one per level, say) become siblings, and interior nodes missing
+    from the ring (still open at capture time) are synthesised with
+    zero seconds, so a crashed run still reads as one tree.
+    """
+    trees: dict[str, Span] = {}
+    index: dict[tuple[str, str], Span] = {}
+
+    def node(tid: str, path: str) -> Span:
+        found = index.get((tid, path))
+        if found is not None:
+            return found
+        name = path.rpartition("/")[2]
+        span = Span(name)
+        index[(tid, path)] = span
+        parent_path = path.rpartition("/")[0]
+        if parent_path:
+            node(tid, parent_path).children.append(span)
+        else:
+            trees.setdefault(tid, Span("trace", attributes={"trace_id": tid}))
+            trees[tid].children.append(span)
+        return span
+
+    for entry in entries:
+        if entry.get("kind") != "span":
+            continue
+        tid = entry.get("trace_id") or "untraced"
+        if trace_id is not None and tid != trace_id:
+            continue
+        path = entry.get("path") or entry.get("name") or "span"
+        span = node(tid, path)
+        if span.seconds or span.counters or span.attributes:
+            # Same path closed again: record as a fresh sibling.
+            parent_path = path.rpartition("/")[0]
+            sibling = Span(span.name)
+            if parent_path:
+                node(tid, parent_path).children.append(sibling)
+            else:
+                trees[tid].children.append(sibling)
+            index[(tid, path)] = sibling
+            span = sibling
+        span.seconds = float(entry.get("seconds") or 0.0)
+        span.attributes.update(entry.get("attributes") or {})
+        if entry.get("cid"):
+            span.attributes.setdefault("cid", entry["cid"])
+        span.counters.update(entry.get("counters") or {})
+    return trees
+
+
+# --------------------------------------------------------------------- #
+# Watchdog
+# --------------------------------------------------------------------- #
+class Watchdog:
+    """Calls ``on_stall(note)`` when an armed window sees no progress.
+
+    ``arm(note)`` starts (or restarts) the countdown, ``beat()``
+    extends it, ``disarm()`` cancels it.  The stall fires once per
+    arming (the deadline clears after firing) from a daemon thread, so
+    a wedged session worker cannot block the report.  Never raises out
+    of the callback.
+    """
+
+    def __init__(
+        self, stall_seconds: float, on_stall, *, poll_seconds: float | None = None
+    ) -> None:
+        if stall_seconds <= 0:
+            raise ValueError("stall_seconds must be positive")
+        self.stall_seconds = float(stall_seconds)
+        self.fired = 0
+        self._on_stall = on_stall
+        self._lock = threading.Lock()
+        self._deadline: float | None = None
+        self._note = ""
+        self._stop = threading.Event()
+        poll = poll_seconds if poll_seconds is not None else stall_seconds / 4.0
+        self._poll = max(0.02, min(float(poll), 1.0))
+        self._thread = threading.Thread(
+            target=self._run, name="repro-flight-watchdog", daemon=True
+        )
+        self._thread.start()
+
+    def arm(self, note: str = "") -> None:
+        with self._lock:
+            self._deadline = time.monotonic() + self.stall_seconds
+            self._note = note
+
+    def beat(self) -> None:
+        with self._lock:
+            if self._deadline is not None:
+                self._deadline = time.monotonic() + self.stall_seconds
+
+    def disarm(self) -> None:
+        with self._lock:
+            self._deadline = None
+
+    def close(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._poll):
+            note = None
+            with self._lock:
+                if (
+                    self._deadline is not None
+                    and time.monotonic() > self._deadline
+                ):
+                    note = self._note
+                    self._deadline = None  # one shot per arming
+                    self.fired += 1
+            if note is not None:
+                try:
+                    self._on_stall(note)
+                except Exception:
+                    pass
+
+
+# --------------------------------------------------------------------- #
+# Debug bundles
+# --------------------------------------------------------------------- #
+def build_debug_bundle(
+    out: str | Path,
+    *,
+    host: str = "127.0.0.1",
+    port: int | None = None,
+    flight_dir: str | Path | None = None,
+    trajectory: str | Path | None = "benchmarks/results/BENCH_trajectory.json",
+    trajectory_last: int = 20,
+    timeout: float = 5.0,
+    reason: str = "manual",
+) -> dict[str, Any]:
+    """Tar everything a bug report needs into ``out`` (``.tar.gz``).
+
+    Tries the live server first (``/v1/debug/flight``, ``/v1/metrics``,
+    ``/v1/stats``, ``/v1/health``); a dead or unreachable server is not
+    fatal — the flight snapshot is then rebuilt from the journals in
+    ``flight_dir`` (the crash path), and every missing piece is noted
+    in ``MANIFEST.json`` instead of failing the bundle.  Returns the
+    manifest (``pieces`` maps member name → byte size, ``errors`` maps
+    piece → why it is missing, ``path`` is the written tarball).
+    """
+    out = Path(out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    members: dict[str, bytes] = {}
+    manifest: dict[str, Any] = {
+        "schema": "repro.debug-bundle/1",
+        "created": round(time.time(), 6),
+        "reason": reason,
+        "server": {"host": host, "port": port},
+        "path": str(out),
+        "pieces": {},
+        "errors": {},
+    }
+
+    def add(name: str, data: bytes | str) -> None:
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        members[name] = data
+        manifest["pieces"][name] = len(data)
+
+    def attempt(name: str, fn) -> Any:
+        try:
+            return fn()
+        except Exception as exc:  # noqa: BLE001 - bundles must not fail
+            manifest["errors"][name] = f"{type(exc).__name__}: {exc}"
+            return None
+
+    flight_doc: dict[str, Any] | None = None
+    if port is not None:
+
+        def from_server() -> dict[str, Any]:
+            from ..serve.client import ServeClient  # lazy: obs must not need serve
+
+            client = ServeClient(host=host, port=port, timeout=timeout)
+            doc = client.debug_flight()
+            add("metrics.txt", attempt("metrics.txt", client.metrics) or "")
+            stats = attempt("stats.json", client.stats)
+            if stats is not None:
+                add("stats.json", json.dumps(stats, indent=2))
+            health = attempt("health.json", client.health)
+            if health is not None:
+                add("health.json", json.dumps(health, indent=2))
+            return doc
+
+        flight_doc = attempt("flight.json", from_server)
+    if flight_doc is None:
+        # Local in-process recorder (bundling from inside the server),
+        # else the on-disk journals (bundling after a crash).
+        recorder = get_flight_recorder()
+        if recorder.enabled:
+            flight_doc = attempt("flight.json", recorder.snapshot)
+        if flight_doc is None and flight_dir is not None:
+            flight_doc = attempt(
+                "flight.json", lambda: load_journal(flight_dir)
+            )
+    if flight_doc is not None:
+        add("flight.json", json.dumps(flight_doc, indent=2))
+
+    def environment() -> str:
+        import platform
+        import sys
+
+        from .. import __version__
+        from .trajectory import current_commit
+
+        return json.dumps(
+            {
+                "version": __version__,
+                "commit": current_commit(),
+                "python": sys.version,
+                "platform": platform.platform(),
+                "pid": os.getpid(),
+                "argv": sys.argv,
+                "cwd": os.getcwd(),
+            },
+            indent=2,
+        )
+
+    env = attempt("env.json", environment)
+    if env is not None:
+        add("env.json", env)
+
+    if trajectory is not None:
+
+        def trajectory_tail() -> str | None:
+            path = Path(trajectory)
+            if not path.exists():
+                return None
+            data = json.loads(path.read_text())
+            if isinstance(data, dict) and isinstance(data.get("entries"), list):
+                data["entries"] = data["entries"][-trajectory_last:]
+            return json.dumps(data, indent=2)
+
+        tail = attempt("trajectory.json", trajectory_tail)
+        if tail is not None:
+            add("trajectory.json", tail)
+
+    add("MANIFEST.json", json.dumps(manifest, indent=2))
+    now = int(time.time())
+    with tarfile.open(out, "w:gz") as tar:
+        for name, data in sorted(members.items()):
+            info = tarfile.TarInfo(name=name)
+            info.size = len(data)
+            info.mtime = now
+            tar.addfile(info, BytesIO(data))
+    return manifest

@@ -26,8 +26,11 @@ and dicts; non-finite floats are stringified the same way
 :mod:`repro.trace` sanitises them).  Reserved keys win over collisions.
 
 Correlation ids propagate via :mod:`contextvars`, so they survive
-``await`` inside a single asyncio task and are inherited by executor
-callbacks scheduled from that task.
+``await`` inside a single asyncio task.  Note that
+``loop.run_in_executor`` does **not** copy the calling context into the
+worker thread (only ``asyncio.to_thread`` does): code that offloads work
+must re-bind the cid (and trace context) explicitly inside the callable,
+as the serve apply path does.
 """
 
 from __future__ import annotations
@@ -123,6 +126,7 @@ class StructuredLogger:
         stream=None,
         level: str = "info",
         clock=time.time,
+        flight=None,
     ) -> None:
         if level not in LEVELS:
             raise ValueError(f"unknown log level: {level!r}")
@@ -131,6 +135,9 @@ class StructuredLogger:
         self.level = level
         self._clock = clock
         self._lock = threading.Lock()
+        # A repro.obs.flight.FlightRecorder (duck-typed to avoid the
+        # import cycle): every emitted record is teed into its ring.
+        self.flight = flight if flight is not None and flight.enabled else None
 
     @property
     def enabled(self) -> bool:
@@ -140,7 +147,7 @@ class StructuredLogger:
         """A logger named ``<name>.<suffix>`` sharing stream and level."""
         child = StructuredLogger(
             f"{self.name}.{suffix}", stream=self.stream,
-            level=self.level, clock=self._clock,
+            level=self.level, clock=self._clock, flight=self.flight,
         )
         child._lock = self._lock
         return child
@@ -168,6 +175,8 @@ class StructuredLogger:
             flush = getattr(self.stream, "flush", None)
             if flush is not None:
                 flush()
+        if self.flight is not None:
+            self.flight.record_log(record)
 
     def debug(self, event: str, **fields) -> None:
         self.log("debug", event, **fields)

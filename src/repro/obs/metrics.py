@@ -41,6 +41,7 @@ from __future__ import annotations
 import math
 import re
 import threading
+import time
 from bisect import bisect_left
 
 __all__ = [
@@ -90,6 +91,19 @@ def _format_bound(bound: float) -> str:
     if bound == math.inf:
         return "+Inf"
     return f"{bound:.10g}"
+
+
+def _format_exemplar(exemplar: dict | None) -> str:
+    """OpenMetrics exemplar suffix for one ``_bucket`` line (or '')."""
+    if not exemplar:
+        return ""
+    pairs = ",".join(
+        f'{k}="{_escape_label_value(v)}"'
+        for k, v in sorted(exemplar["labels"].items())
+    )
+    return (
+        f" # {{{pairs}}} {_format_value(exemplar['value'])} {exemplar['ts']:.3f}"
+    )
 
 
 def _label_suffix(labelnames: tuple[str, ...], labelvalues: tuple[str, ...]) -> str:
@@ -162,9 +176,15 @@ class _HistogramChild:
     ``bucket_counts[i]`` counts observations ``<= bounds[i]``
     (non-cumulative storage; cumulated at render/quantile time), with a
     final implicit +Inf bucket at ``bucket_counts[-1]``.
+
+    Each bucket additionally remembers its most recent **exemplar** —
+    the trace id / correlation id labels a caller attached to one
+    observation — so a p99 spike in the exposition points straight at
+    the request that caused it (OpenMetrics-style ``# {...} value ts``
+    suffixes on ``_bucket`` lines).
     """
 
-    __slots__ = ("_lock", "bounds", "bucket_counts", "sum", "count")
+    __slots__ = ("_lock", "bounds", "bucket_counts", "sum", "count", "_exemplars")
 
     def __init__(self, lock: threading.RLock, bounds: tuple[float, ...]) -> None:
         self._lock = lock
@@ -172,21 +192,46 @@ class _HistogramChild:
         self.bucket_counts = [0] * (len(bounds) + 1)
         self.sum = 0.0
         self.count = 0
+        self._exemplars: dict[int, dict] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(
+        self, value: float, *, exemplar: dict[str, str] | None = None
+    ) -> None:
         value = float(value)
+        if value != value:  # NaN would silently poison sum and quantiles
+            raise ValueError("cannot observe NaN")
         with self._lock:
-            self.bucket_counts[bisect_left(self.bounds, value)] += 1
+            index = bisect_left(self.bounds, value)
+            self.bucket_counts[index] += 1
             self.sum += value
             self.count += 1
+            if exemplar:
+                self._exemplars[index] = {
+                    "labels": {str(k): str(v) for k, v in exemplar.items()},
+                    "value": value,
+                    "ts": round(time.time(), 3),
+                }
+
+    def exemplars(self) -> dict[int, dict]:
+        """Snapshot of per-bucket exemplars (bucket index → exemplar)."""
+        with self._lock:
+            return {i: dict(e) for i, e in self._exemplars.items()}
 
     def quantile(self, q: float) -> float:
         """Estimate the q-quantile (0..1) from bucket counts.
 
         Linear interpolation inside the bucket that crosses the target
         rank (the same estimate Prometheus' ``histogram_quantile``
-        produces).  Observations beyond the last finite bound clamp to
-        that bound; an empty histogram reports 0.0.
+        produces).  Pinned edge cases:
+
+        * an **empty** histogram reports ``0.0`` for every q;
+        * ``q=0`` interpolates to the lower edge of the first occupied
+          bucket, ``q=1`` to the upper bound of the last occupied one;
+        * observations in the **+Inf overflow bucket** clamp to the
+          largest finite bound (``bounds[-1]``) — the estimate is a
+          lower bound there, not an interpolation;
+        * a NaN (or out-of-range) ``q`` raises :class:`ValueError`
+          rather than propagating NaN into dashboards.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
@@ -310,8 +355,13 @@ class Histogram(_Family):
     kind = "histogram"
     _child_cls = _HistogramChild
 
-    def observe(self, value: float) -> None:
-        self._default.observe(value)
+    def observe(
+        self, value: float, *, exemplar: dict[str, str] | None = None
+    ) -> None:
+        self._default.observe(value, exemplar=exemplar)
+
+    def exemplars(self) -> dict[int, dict]:
+        return self._default.exemplars()
 
     def quantile(self, q: float) -> float:
         return self._default.quantile(q)
@@ -411,8 +461,11 @@ class MetricsRegistry:
             for labelvalues, child in family.children():
                 suffix = _label_suffix(family.labelnames, labelvalues)
                 if family.kind == "histogram":
+                    exemplars = child.exemplars()
                     cumulative = 0
-                    for bound, n in zip(child.bounds, child.bucket_counts):
+                    for i, (bound, n) in enumerate(
+                        zip(child.bounds, child.bucket_counts)
+                    ):
                         cumulative += n
                         le = _label_suffix(
                             family.labelnames + ("le",),
@@ -420,12 +473,16 @@ class MetricsRegistry:
                         )
                         lines.append(
                             f"{family.name}_bucket{le} {cumulative}"
+                            f"{_format_exemplar(exemplars.get(i))}"
                         )
                     cumulative += child.bucket_counts[-1]
                     le = _label_suffix(
                         family.labelnames + ("le",), labelvalues + ("+Inf",)
                     )
-                    lines.append(f"{family.name}_bucket{le} {cumulative}")
+                    lines.append(
+                        f"{family.name}_bucket{le} {cumulative}"
+                        f"{_format_exemplar(exemplars.get(len(child.bounds)))}"
+                    )
                     lines.append(
                         f"{family.name}_sum{suffix} {_format_value(child.sum)}"
                     )
@@ -454,8 +511,11 @@ class _NullInstrument:
     def set(self, value: float) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, *, exemplar=None) -> None:
         pass
+
+    def exemplars(self):
+        return {}
 
     def quantile(self, q: float) -> float:
         return 0.0

@@ -34,6 +34,10 @@ class ServeClient:
         self.port = port
         self.timeout = timeout
         self._conn: HTTPConnection | None = None
+        #: Correlation / trace ids echoed by the server on the most
+        #: recent response (``X-Repro-Cid`` / ``X-Repro-Trace``).
+        self.last_cid: str | None = None
+        self.last_trace_id: str | None = None
 
     # ------------------------------------------------------------------ #
     # Plumbing
@@ -77,7 +81,10 @@ class ServeClient:
             try:
                 conn.request(method, target, body=payload, headers=headers)
                 response = conn.getresponse()
-                return response.status, response.read()
+                data = response.read()
+                self.last_cid = response.getheader("X-Repro-Cid")
+                self.last_trace_id = response.getheader("X-Repro-Trace")
+                return response.status, data
             except (ConnectionError, OSError):
                 self.close()
                 if attempt:
@@ -111,6 +118,7 @@ class ServeClient:
             raise ServeError(
                 error.get("code", "server_error"),
                 error.get("message", f"HTTP {status}"),
+                cid=self.last_cid,
             )
         return decoded
 
@@ -222,6 +230,27 @@ class ServeClient:
             "GET", "/health", params=params, tolerate=(503,)
         )
 
+    def debug_flight(
+        self,
+        *,
+        trace_id: str | None = None,
+        cid: str | None = None,
+        kinds: str | None = None,
+    ) -> dict[str, Any]:
+        """The flight-recorder snapshot from ``GET /v1/debug/flight``.
+
+        Optional filters: ``trace_id`` / ``cid`` match entries tagged
+        with that id; ``kinds`` is a comma-separated subset of
+        ``span,log,metric``.
+        """
+        params = {
+            key: value
+            for key, value in
+            (("trace_id", trace_id), ("cid", cid), ("kinds", kinds))
+            if value is not None
+        }
+        return self.request("GET", "/debug/flight", params=params or None)
+
     def metrics(self) -> str:
         """The Prometheus text exposition from ``GET /v1/metrics``."""
         status, data = self._raw("GET", "/metrics")
@@ -233,6 +262,7 @@ class ServeClient:
             raise ServeError(
                 error.get("code", "server_error"),
                 error.get("message", f"HTTP {status}"),
+                cid=self.last_cid,
             )
         return data.decode("utf-8")
 

@@ -20,6 +20,7 @@ eviction never loses state.
 
 from __future__ import annotations
 
+import os
 import re
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -29,6 +30,7 @@ from typing import Any
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..obs.flight import NULL_FLIGHT, FlightRecorder, set_flight_recorder
 from ..obs.metrics import NULL_REGISTRY, get_registry
 from ..stream import StreamConfig, StreamSession
 from ..trace import Tracer
@@ -71,6 +73,22 @@ class ServeConfig:
     slow_request_seconds:
         Requests slower than this are logged as ``slow_request``
         (structured-log event; ``0`` logs every request).
+    flight:
+        Keep an always-on :class:`~repro.obs.flight.FlightRecorder`
+        (bounded ring of recent spans / log lines / metric deltas)
+        and serve it at ``GET /v1/debug/flight``.
+    flight_bytes:
+        Byte budget of the flight ring (default 1 MiB).
+    flight_dir:
+        Directory for crash-surviving flight journals
+        (``flight-<pid>.jsonl``); ``None`` keeps the ring memory-only.
+    exemplar_seconds:
+        Latency observations at or above this attach a trace-id/cid
+        exemplar to their histogram bucket (``0`` tags everything).
+    stall_seconds:
+        Watchdog window: a session apply making no progress for this
+        long triggers a flight dump + ``worker_stalled`` log.  ``0``
+        disables the watchdog.
     """
 
     max_sessions: int = 8
@@ -80,6 +98,11 @@ class ServeConfig:
     coalesce: bool = True
     metrics: bool = True
     slow_request_seconds: float = 1.0
+    flight: bool = True
+    flight_bytes: int = 1 << 20
+    flight_dir: str | Path | None = None
+    exemplar_seconds: float = 0.05
+    stall_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_sessions < 0:
@@ -88,6 +111,12 @@ class ServeConfig:
             raise ValueError("max_bytes must be positive")
         if self.slow_request_seconds < 0:
             raise ValueError("slow_request_seconds must be >= 0")
+        if self.flight_bytes <= 0:
+            raise ValueError("flight_bytes must be positive")
+        if self.exemplar_seconds < 0:
+            raise ValueError("exemplar_seconds must be >= 0")
+        if self.stall_seconds < 0:
+            raise ValueError("stall_seconds must be >= 0")
 
 
 def session_nbytes(session: StreamSession) -> int:
@@ -133,6 +162,16 @@ class SessionManager:
         if registry is None:
             registry = get_registry() if config.metrics else NULL_REGISTRY
         self.registry = registry
+        if config.flight:
+            journal = (
+                Path(config.flight_dir) / f"flight-{os.getpid()}.jsonl"
+                if config.flight_dir is not None
+                else None
+            )
+            self.flight = FlightRecorder(config.flight_bytes, journal=journal)
+        else:
+            self.flight = NULL_FLIGHT
+        set_flight_recorder(self.flight)
         self._init_metrics()
 
     def _init_metrics(self) -> None:
@@ -208,6 +247,12 @@ class SessionManager:
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
+    def _new_tracer(self) -> Tracer | None:
+        """A session tracer wired into the flight recorder (or None)."""
+        if not self.config.trace:
+            return None
+        return Tracer(flight=self.flight)
+
     def create(
         self,
         name: str,
@@ -225,7 +270,7 @@ class SessionManager:
             graph,
             config or StreamConfig(),
             initial_membership=initial_membership,
-            tracer=Tracer() if self.config.trace else None,
+            tracer=self._new_tracer(),
         )
         session.bind_metrics(self.registry, session=name)
         self.sessions[name] = session
@@ -247,7 +292,7 @@ class SessionManager:
                 raise KeyError(f"unknown session {name!r}")
             session = restore_session(
                 self._base(name),
-                tracer=Tracer() if self.config.trace else None,
+                tracer=self._new_tracer(),
             )
             session.bind_metrics(self.registry, session=name)
             self.sessions[name] = session

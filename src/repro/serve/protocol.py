@@ -49,14 +49,20 @@ ERROR_STATUS: dict[str, int] = {
 
 
 class ServeError(Exception):
-    """A protocol-level failure with a machine-readable code."""
+    """A protocol-level failure with a machine-readable code.
 
-    def __init__(self, code: str, message: str) -> None:
+    ``cid`` is filled in by :class:`~repro.serve.client.ServeClient` from
+    the ``X-Repro-Cid`` response header, so a caller holding a raised
+    error can grep the server's structured log for the exact request.
+    """
+
+    def __init__(self, code: str, message: str, *, cid: str | None = None) -> None:
         if code not in ERROR_STATUS:
             raise ValueError(f"unknown error code {code!r}")
         super().__init__(message)
         self.code = code
         self.message = message
+        self.cid = cid
 
     @property
     def status(self) -> int:

@@ -33,12 +33,22 @@ from time import perf_counter, time
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
+from .. import __version__
+from ..obs.flight import Watchdog, build_debug_bundle
 from ..obs.logs import (
     NULL_LOGGER,
     bind_correlation_id,
     current_correlation_id,
     new_correlation_id,
     unbind_correlation_id,
+)
+from ..trace import (
+    TraceContext,
+    as_tracer,
+    bind_trace_context,
+    current_trace_context,
+    new_trace_id,
+    unbind_trace_context,
 )
 from ..stream import StreamConfig
 from .coalesce import BatchCoalescer
@@ -84,6 +94,8 @@ def _route_label(target: str) -> str:
     if len(parts) == 1 and parts[0] in ("health", "stats", "metrics",
                                         "shutdown", "sessions"):
         return parts[0]
+    if parts == ["debug", "flight"]:
+        return "debug/flight"
     if len(parts) == 2 and parts[0] == "sessions":
         return "session"
     if len(parts) == 3 and parts[0] == "sessions" and parts[2] in _SESSION_VERBS:
@@ -126,15 +138,21 @@ class ServerStats:
 class _BatchRequest:
     """One queued /batch request waiting on its apply."""
 
-    __slots__ = ("add", "remove", "future", "cid")
+    __slots__ = ("add", "remove", "future", "cid", "trace")
 
     def __init__(
-        self, add, remove, future: asyncio.Future, cid: str | None = None
+        self,
+        add,
+        remove,
+        future: asyncio.Future,
+        cid: str | None = None,
+        trace: TraceContext | None = None,
     ) -> None:
         self.add = add
         self.remove = remove
         self.future = future
         self.cid = cid
+        self.trace = trace
 
 
 class ReproServer:
@@ -179,6 +197,23 @@ class ReproServer:
         self.metrics = manager.registry
         self.log = logger if logger is not None else NULL_LOGGER
         self.slow_request_seconds = manager.config.slow_request_seconds
+        self.flight = manager.flight
+        if self.flight.enabled and self.log.flight is None and self.log.enabled:
+            # Tee the server's own log lines into the flight ring.
+            self.log.flight = self.flight
+        self.exemplar_seconds = manager.config.exemplar_seconds
+        self.version = __version__
+        try:
+            from ..obs.trajectory import current_commit
+
+            self.build = current_commit()
+        except Exception:  # noqa: BLE001 - a stamp, not a feature
+            self.build = "unknown"
+        self._watchdog: Watchdog | None = None
+        if manager.config.stall_seconds > 0 and self.flight.enabled:
+            self._watchdog = Watchdog(
+                manager.config.stall_seconds, self._on_stall
+            )
         self._server: asyncio.base_events.Server | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stopped: asyncio.Event | None = None
@@ -188,6 +223,7 @@ class ReproServer:
         self._queues: dict[str, asyncio.Queue] = {}
         self._workers: dict[str, asyncio.Task] = {}
         self._writers: set[asyncio.StreamWriter] = set()
+        self._sampler: asyncio.Task | None = None
         self._init_metrics()
 
     def _init_metrics(self) -> None:
@@ -238,6 +274,61 @@ class ReproServer:
         )
 
     # ------------------------------------------------------------------ #
+    # Flight recorder plumbing
+    # ------------------------------------------------------------------ #
+    async def _metric_sampler(self, interval: float = 1.0) -> None:
+        """Tee counter deltas / gauge changes into the flight ring."""
+        last: dict[str, float] = {}
+        while True:
+            await asyncio.sleep(interval)
+            counters = {
+                "repro_serve_requests_total": float(self.stats.requests),
+                "repro_serve_batch_requests_total": float(
+                    self.stats.batch_requests
+                ),
+                "repro_serve_applies_total": float(self.stats.applies),
+                "repro_serve_errors_total": float(self.stats.errors),
+            }
+            gauges = {
+                "repro_serve_queue_depth": float(
+                    sum(q.qsize() for q in self._queues.values())
+                ),
+                "repro_serve_sessions_resident": float(
+                    len(self.manager.sessions)
+                ),
+            }
+            for name, value in counters.items():
+                delta = value - last.get(name, 0.0)
+                if delta:
+                    self.flight.record_metric(name, delta, labels={"delta": "1"})
+                last[name] = value
+            for name, value in gauges.items():
+                if value != last.get(name):
+                    self.flight.record_metric(name, value)
+                last[name] = value
+
+    def _on_stall(self, note: str) -> None:
+        """Watchdog callback (daemon thread): log + drop a debug bundle."""
+        self.log.error(
+            "worker_stalled",
+            note=note, stall_seconds=self.manager.config.stall_seconds,
+        )
+        try:
+            out_dir = (
+                self.manager.config.flight_dir
+                or self.manager.config.snapshot_dir
+            )
+            path = f"{out_dir}/bundle-stall-{int(time())}.tar.gz"
+            build_debug_bundle(
+                path,
+                port=None,  # in-process: snapshot the live recorder directly
+                reason=f"stall: {note}",
+            )
+            self.log.error("debug_bundle_written", path=path, reason="stall")
+        except Exception:  # noqa: BLE001 - diagnostics must not crash serve
+            pass
+
+    # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
     async def start(self) -> None:
@@ -248,7 +339,13 @@ class ReproServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
-        self.log.info("server_started", host=self.host, port=self.port)
+        if self.flight.enabled:
+            self._sampler = self._loop.create_task(self._metric_sampler())
+        self.log.info(
+            "server_started",
+            host=self.host, port=self.port,
+            version=self.version, build=self.build,
+        )
 
     async def serve_until_stopped(self) -> None:
         """Serve until :meth:`request_shutdown` (or POST /v1/shutdown)."""
@@ -287,6 +384,10 @@ class ReproServer:
     async def _cleanup(self) -> None:
         """Graceful shutdown: drain workers, snapshot, close sockets."""
         self._stopping = True
+        if self._sampler is not None:
+            self._sampler.cancel()
+        if self._watchdog is not None:
+            self._watchdog.close()
         for task in self._workers.values():
             task.cancel()
         for queue in self._queues.values():
@@ -343,8 +444,12 @@ class ReproServer:
                     length = 0
                 body = await reader.readexactly(length) if length else b""
                 keep_alive = headers.get("connection", "").lower() != "close"
-                status, payload = await self._dispatch(method.upper(), target, body)
-                await self._respond(writer, status, payload, close=not keep_alive)
+                status, payload, extra = await self._dispatch(
+                    method.upper(), target, body
+                )
+                await self._respond(
+                    writer, status, payload, close=not keep_alive, headers=extra
+                )
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -360,6 +465,7 @@ class ReproServer:
         payload: dict[str, Any] | str,
         *,
         close: bool,
+        headers: dict[str, str] | None = None,
     ) -> None:
         if isinstance(payload, str):
             # Raw text body (the /v1/metrics Prometheus exposition).
@@ -368,10 +474,14 @@ class ReproServer:
         else:
             data = json.dumps(payload, allow_nan=False).encode()
             content_type = "application/json"
+        extra = "".join(
+            f"{key}: {value}\r\n" for key, value in (headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {_PHRASES.get(status, 'OK')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(data)}\r\n"
+            f"{extra}"
             f"Connection: {'close' if close else 'keep-alive'}\r\n\r\n"
         )
         writer.write(head.encode("latin-1") + data)
@@ -385,12 +495,14 @@ class ReproServer:
     # ------------------------------------------------------------------ #
     async def _dispatch(
         self, method: str, target: str, body: bytes
-    ) -> tuple[int, dict[str, Any] | str]:
+    ) -> tuple[int, dict[str, Any] | str, dict[str, str]]:
         self.stats.requests += 1
         start = perf_counter()
         route = _route_label(target)
         cid = new_correlation_id("req")
+        trace_id = new_trace_id()
         token = bind_correlation_id(cid)
+        trace_token = bind_trace_context(TraceContext(trace_id))
         try:
             payload = await self._route(method, target, body)
             if isinstance(payload, tuple):
@@ -417,18 +529,26 @@ class ReproServer:
                 "server_error", f"{type(exc).__name__}: {exc}"
             )
         finally:
+            unbind_trace_context(trace_token)
             unbind_correlation_id(token)
         seconds = perf_counter() - start
         self._m_requests.labels(route=route, method=method).inc()
-        self._m_request_seconds.labels(route=route).observe(seconds)
+        exemplar = (
+            {"trace_id": trace_id, "cid": cid}
+            if seconds >= self.exemplar_seconds
+            else None
+        )
+        self._m_request_seconds.labels(route=route).observe(
+            seconds, exemplar=exemplar
+        )
         if seconds >= self.slow_request_seconds:
             self.log.warning(
                 "slow_request",
-                cid=cid, method=method, route=route, status=status,
-                seconds=round(seconds, 6),
+                cid=cid, trace_id=trace_id, method=method, route=route,
+                status=status, seconds=round(seconds, 6),
                 threshold_seconds=self.slow_request_seconds,
             )
-        return status, payload
+        return status, payload, {"X-Repro-Cid": cid, "X-Repro-Trace": trace_id}
 
     def _json_body(self, body: bytes) -> dict[str, Any]:
         if not body:
@@ -462,6 +582,16 @@ class ReproServer:
         if parts == ["stats"]:
             self._expect(method, "GET")
             return self._stats_payload()
+        if parts == ["debug", "flight"]:
+            self._expect(method, "GET")
+            if not self.flight.enabled:
+                raise ServeError("not_found", "flight recorder is disabled")
+            kinds = query.get("kinds")
+            return self.flight.snapshot(
+                trace_id=query.get("trace_id"),
+                cid=query.get("cid"),
+                kinds=tuple(kinds.split(",")) if kinds else None,
+            )
         if parts == ["shutdown"]:
             self._expect(method, "POST")
             assert self._loop is not None
@@ -534,11 +664,16 @@ class ReproServer:
         degraded (the session/byte budget is forcing evictions), so load
         balancers stop routing new work while the process stays up.
         """
+        stamp = {
+            "uptime_seconds": round(time() - self.stats.started, 3),
+            "version": self.version,
+            "build": self.build,
+        }
         if query.get("live"):
-            return 200, {"ok": True, "status": "alive"}
+            return 200, {"ok": True, "status": "alive", **stamp}
         status = self._health_status()
         ok = status == "ready"
-        return (200 if ok else 503), {"ok": ok, "status": status}
+        return (200 if ok else 503), {"ok": ok, "status": status, **stamp}
 
     # ------------------------------------------------------------------ #
     # Session routes
@@ -630,8 +765,16 @@ class ReproServer:
         if worker is None or worker.done():
             self._workers[name] = self._loop.create_task(self._batch_worker(name))
         await queue.put(
-            _BatchRequest(add, remove, future, cid=current_correlation_id())
+            _BatchRequest(
+                add, remove, future,
+                cid=current_correlation_id(),
+                trace=current_trace_context(),
+            )
         )
+        # Debug-level breadcrumb: with a flight journal this line is on
+        # disk *before* the apply starts, so a killed-mid-batch server
+        # still shows which request was in flight.
+        self.log.debug("batch_enqueued", session=name, queue_depth=queue.qsize())
         return await future
 
     async def _batch_worker(self, name: str) -> None:
@@ -669,18 +812,55 @@ class ReproServer:
         if not accepted:
             return
         add, remove = coalescer.net()
+        # The burst shares one apply; the first folded request's trace
+        # context names the stitched tree (the others are cross-linked
+        # via the cids attribute below).
+        primary = next((r for r in accepted if r.trace is not None), None)
+        trace_ctx = primary.trace if primary is not None else None
+        primary_cid = primary.cid if primary is not None else None
+        cids = [r.cid for r in accepted if r.cid]
+        coalesced = len(accepted)
+
+        def run_apply():
+            # run_in_executor does NOT copy contextvars into the worker
+            # thread — re-bind the request identity explicitly so the
+            # batch span tree, flight entries and any shard worker tasks
+            # all carry this request's trace id.
+            trace_token = bind_trace_context(
+                trace_ctx.child("request") if trace_ctx is not None else None
+            )
+            cid_token = bind_correlation_id(primary_cid)
+            try:
+                with as_tracer(session.tracer).span(
+                    "request",
+                    route="session/batch",
+                    session=name,
+                    coalesced=coalesced,
+                    **(
+                        {"trace_id": trace_ctx.trace_id}
+                        if trace_ctx is not None
+                        else {}
+                    ),
+                ) as span:
+                    if cids:
+                        span.set(cids=cids)
+                    return session.apply(add=add, remove=remove)
+            finally:
+                unbind_correlation_id(cid_token)
+                unbind_trace_context(trace_token)
+
         self.manager.pin(name)
+        if self._watchdog is not None:
+            self._watchdog.arm(f"apply session={name} cid={primary_cid}")
         start = perf_counter()
         assert self._loop is not None
         try:
-            result = await self._loop.run_in_executor(
-                None, lambda: session.apply(add=add, remove=remove)
-            )
+            result = await self._loop.run_in_executor(None, run_apply)
         except Exception as exc:  # noqa: BLE001 - answer every waiter
             self.log.error(
                 "apply_failed", session=name,
                 exception=f"{type(exc).__name__}: {exc}",
-                cids=[r.cid for r in accepted if r.cid],
+                cids=cids,
             )
             for request in accepted:
                 if not request.future.done():
@@ -689,6 +869,8 @@ class ReproServer:
                     )
             return
         finally:
+            if self._watchdog is not None:
+                self._watchdog.disarm()
             self.manager.unpin(name)
         elapsed = perf_counter() - start
         self.stats.applies += 1
@@ -702,14 +884,22 @@ class ReproServer:
         self._m_fold_ratio.set(
             self.stats.batch_requests / max(self.stats.applies, 1)
         )
-        self._m_apply_seconds.labels(session=name).observe(elapsed)
+        exemplar = None
+        if trace_ctx is not None and elapsed >= self.exemplar_seconds:
+            exemplar = {"trace_id": trace_ctx.trace_id}
+            if primary_cid:
+                exemplar["cid"] = primary_cid
+        self._m_apply_seconds.labels(session=name).observe(
+            elapsed, exemplar=exemplar
+        )
         self.log.info(
             "batch_applied",
             session=name, batch=result.batch, mode=result.mode,
             coalesced=len(accepted), seconds=round(elapsed, 6),
             edges_added=result.edges_added, edges_removed=result.edges_removed,
             span_path=f"batch[{result.batch}]",
-            cids=[r.cid for r in accepted if r.cid],
+            cids=cids,
+            trace_id=trace_ctx.trace_id if trace_ctx is not None else None,
         )
         payload = result_payload(result, coalesced=len(accepted))
         for request in accepted:
@@ -843,4 +1033,35 @@ class ReproServer:
             info["apply_p99_seconds"] = hist.quantile(0.99)
             per_session[name] = info
         payload["per_session"] = per_session
+        payload["uptime_seconds"] = round(time() - self.stats.started, 3)
+        payload["version"] = self.version
+        payload["build"] = self.build
+        payload["exemplars"] = self._exemplar_payload()
         return payload
+
+    def _exemplar_payload(self) -> dict[str, Any]:
+        """Latest exemplar per latency-histogram bucket, for ``/v1/stats``.
+
+        Lets a client jump from "the p99 spiked" straight to a trace id
+        it can feed to ``GET /v1/debug/flight?trace_id=…``.
+        """
+        out: dict[str, Any] = {}
+        for metric in ("repro_serve_request_seconds",
+                       "repro_serve_apply_seconds"):
+            family = self.metrics.get(metric)
+            if family is None:
+                continue
+            rows = []
+            for values, child in family.children():
+                exemplars = getattr(child, "exemplars", lambda: {})()
+                for index, exemplar in sorted(exemplars.items()):
+                    bounds = child.bounds
+                    le = bounds[index] if index < len(bounds) else "+Inf"
+                    rows.append({
+                        "labels": dict(zip(family.labelnames, values)),
+                        "le": le,
+                        "exemplar": exemplar,
+                    })
+            if rows:
+                out[metric] = rows
+        return out

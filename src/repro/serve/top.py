@@ -66,7 +66,8 @@ def render_top(
     fold = requests / applies if applies else 0.0
     lines = [
         f"repro top · {url} · status: {stats.get('status', '?')} · "
-        f"up {stats.get('uptime_seconds', 0.0):.0f}s",
+        f"up {stats.get('uptime_seconds', 0.0):.0f}s"
+        f" · v{stats.get('version', '?')} ({stats.get('build', '?')})",
         f"requests {stats.get('requests', 0)} ({stats.get('errors', 0)} errors)"
         f" · applies {applies} · fold {fold:.2f}x"
         f" · batches/s {_rate(stats, prev, elapsed):.1f}",

@@ -81,7 +81,14 @@ from ..metrics.modularity import modularity
 from ..metrics.timing import RunTimings, Stopwatch, SweepStats
 from ..parallel.coloring import color_classes, greedy_coloring
 from ..result import flatten_levels
-from ..trace import NullTracer, Span, Tracer, as_tracer, sweep_span
+from ..trace import (
+    NullTracer,
+    Span,
+    Tracer,
+    as_tracer,
+    current_trace_context,
+    sweep_span,
+)
 from .partition import ShardPlan
 from .shm import SharedArrays
 from .worker import (
@@ -510,6 +517,7 @@ def _sync_phase(
         shard_stats: dict[int, dict[str, float]] = {}
         sweep_seconds: list[float] = []
         trace_on = tracer.enabled
+        trace_ctx = current_trace_context()
 
         with SharedArrays() as shared:
             shared.share("indptr", graph.indptr)
@@ -538,6 +546,7 @@ def _sync_phase(
                         resolution=config.resolution,
                         singleton_constraint=config.singleton_constraint,
                         degree_bucket_bounds=config.degree_bucket_bounds,
+                        trace=trace_ctx,
                     )
                 )
                 shard_stats[shard] = {"seconds": 0.0, "moves": 0.0, "scored": 0.0}
@@ -636,10 +645,16 @@ def _sync_phase(
                 sspan.seconds = elapsed
                 tracer.attach(sspan)
             for shard, stats in sorted(shard_stats.items()):
+                attributes: dict = {"shard": shard}
+                if trace_ctx is not None:
+                    # Sync-mode workers are pure slice scorers (one step
+                    # per bucket, no spans of their own), so the
+                    # coordinator stamps the request's trace id here.
+                    attributes["trace_id"] = trace_ctx.trace_id
                 tracer.attach(
                     Span(
                         name="shard",
-                        attributes={"shard": shard},
+                        attributes=attributes,
                         counters={
                             "moves": stats["moves"],
                             "frontier": stats["scored"],
@@ -723,6 +738,7 @@ def _color_phase(
             comm_view = shared.share("comm", comm)
             specs = shared.specs()
             tasks = []
+            trace_ctx = current_trace_context()
             for shard in range(plan.num_shards):
                 movable = plan.interior_members(shard)
                 if movable.size == 0:
@@ -739,6 +755,7 @@ def _color_phase(
                         singleton_constraint=config.singleton_constraint,
                         degree_bucket_bounds=config.degree_bucket_bounds,
                         group_sizes=config.group_sizes,
+                        trace=trace_ctx,
                     )
                 )
 
@@ -765,8 +782,15 @@ def _color_phase(
                             + proposal.seconds
                         )
                         if tracer.enabled:
-                            tracer.attach(
-                                Span(
+                            if proposal.span is not None:
+                                # Worker-built span (carries trace_id and
+                                # worker_pid): re-parent it under this
+                                # coordinator's phase span.
+                                shard_span = proposal.span
+                                shard_span.set(round=rounds)
+                                shard_span.count(applied=applied)
+                            else:
+                                shard_span = Span(
                                     name="shard",
                                     attributes={
                                         "shard": proposal.shard,
@@ -780,7 +804,7 @@ def _color_phase(
                                     },
                                     seconds=proposal.seconds,
                                 )
-                            )
+                            tracer.attach(shard_span)
 
                 # --- boundary reconciliation, one color class at a time
                 reconciled = 0

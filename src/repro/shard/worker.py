@@ -25,6 +25,7 @@ communities — no per-sweep full-edge rescans.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from time import process_time
 
@@ -36,6 +37,7 @@ from ..core.mod_opt import _sweep_internal_delta
 from ..core.sweep_plan import SweepPlan
 from ..gpu.thrust import gather_rows
 from ..graph.csr import CSRGraph
+from ..trace import Span, TraceContext
 from .shm import ArraySpec, attach_array
 
 __all__ = [
@@ -52,7 +54,13 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ShardTask:
-    """Everything one worker needs: shm specs plus scalar knobs."""
+    """Everything one worker needs: shm specs plus scalar knobs.
+
+    ``trace`` is the coordinator's :class:`~repro.trace.TraceContext`
+    (picklable, rides the command pipe): when set, the worker builds a
+    ``shard`` span tagged with its trace id so the coordinator can
+    re-parent it into the request's stitched tree.
+    """
 
     shard: int
     specs: dict[str, ArraySpec]
@@ -63,11 +71,17 @@ class ShardTask:
     singleton_constraint: bool
     degree_bucket_bounds: tuple[int, ...]
     group_sizes: tuple[int, ...]
+    trace: TraceContext | None = None
 
 
 @dataclass(frozen=True)
 class ShardProposal:
-    """One worker's proposed label changes (global vertex ids)."""
+    """One worker's proposed label changes (global vertex ids).
+
+    ``span`` is the worker-built ``shard`` span (present when the task
+    carried a trace context) — the coordinator attaches it under its own
+    phase span, so cross-process work lands in the same trace tree.
+    """
 
     shard: int
     movers: np.ndarray
@@ -76,6 +90,7 @@ class ShardProposal:
     moved: int
     scored: int
     seconds: float
+    span: Span | None = None
 
 
 def optimize_interior(
@@ -212,6 +227,23 @@ def optimize_shard(task: ShardTask) -> ShardProposal:
         for handle in handles.values():
             handle.close()
         movable_handle.close()
+    seconds = process_time() - t0
+    span = None
+    if task.trace is not None:
+        span = Span(
+            "shard",
+            attributes={
+                "shard": task.shard,
+                "trace_id": task.trace.trace_id,
+                "worker_pid": os.getpid(),
+            },
+            counters={
+                "moves": float(movers.size),
+                "sweeps": float(sweeps),
+                "frontier": float(scored),
+            },
+            seconds=seconds,
+        )
     return ShardProposal(
         shard=task.shard,
         movers=movers,
@@ -219,7 +251,8 @@ def optimize_shard(task: ShardTask) -> ShardProposal:
         sweeps=sweeps,
         moved=int(movers.size),
         scored=scored,
-        seconds=process_time() - t0,
+        seconds=seconds,
+        span=span,
     )
 
 
@@ -334,6 +367,7 @@ class SyncShardTask:
     resolution: float
     singleton_constraint: bool
     degree_bucket_bounds: tuple[int, ...]
+    trace: TraceContext | None = None
 
 
 def run_sync_worker(task: SyncShardTask, task_queue, result_queue) -> None:

@@ -46,7 +46,14 @@ from ..metrics.modularity import modularity
 from ..metrics.quality import normalized_mutual_information
 from ..metrics.timing import RunTimings, Stopwatch
 from ..result import StreamResult, flatten_levels
-from ..trace import NullTracer, RunReport, Tracer, as_tracer, report_from_result
+from ..trace import (
+    NullTracer,
+    RunReport,
+    Tracer,
+    as_tracer,
+    current_trace_context,
+    report_from_result,
+)
 from .frontier import delta_frontier
 
 __all__ = ["StreamConfig", "StreamSession"]
@@ -87,8 +94,14 @@ class StreamConfig:
         Detection algorithm (:func:`~repro.core.engine.get_engine`):
         ``"louvain"`` (default — bit-identical to the pre-engine
         sessions), ``"leiden"`` (well-connectedness refinement on every
-        contraction, full and incremental), or ``"lpa"`` (frontier-
-        seeded weighted label propagation).
+        contraction, full and incremental), ``"lpa"`` (frontier-
+        seeded weighted label propagation), or ``"sharded"``
+        (multi-process Louvain for the full-pipeline paths).
+    shard:
+        Engine options for ``algo="sharded"`` — a dict with any of
+        ``workers`` / ``pool`` / ``mode`` / ``partition``, passed to
+        :class:`~repro.core.engine.ShardedEngine`.  Only valid with the
+        sharded algo.
     """
 
     louvain: GPULouvainConfig = field(default_factory=GPULouvainConfig)
@@ -97,12 +110,23 @@ class StreamConfig:
     full_rerun_interval: int = 0
     frontier_fraction_limit: float = 0.5
     algo: str = "louvain"
+    shard: dict | None = None
 
     def __post_init__(self) -> None:
         if self.algo not in ALGO_NAMES:
             raise ValueError(
                 f"unknown algo: {self.algo!r} (expected one of {list(ALGO_NAMES)})"
             )
+        if self.shard is not None:
+            if self.algo != "sharded":
+                raise ValueError("shard options require algo='sharded'")
+            allowed = {"workers", "pool", "mode", "partition"}
+            unknown = set(self.shard) - allowed
+            if unknown:
+                raise ValueError(
+                    f"unknown shard options: {sorted(unknown)} "
+                    f"(expected a subset of {sorted(allowed)})"
+                )
         if self.screening not in ("local", "exact"):
             raise ValueError(f"unknown screening mode: {self.screening!r}")
         if self.frontier_scope not in ("community", "endpoints"):
@@ -146,6 +170,8 @@ class StreamConfig:
             # The default is omitted so pre-engine fingerprints (and the
             # committed trajectory baselines keyed on them) stay stable.
             meta["algo"] = self.algo
+        if self.shard is not None:
+            meta["shard"] = dict(self.shard)
         for spec in dataclasses.fields(GPULouvainConfig):
             if spec.name in self._STRUCTURED_LOUVAIN_FIELDS:
                 continue
@@ -283,7 +309,7 @@ class StreamSession:
         self.tracer = as_tracer(tracer)
         self.reports: list[RunReport] = []
         self.initial_report: RunReport | None = None
-        self._engine = get_engine(config.algo)
+        self._engine = get_engine(config.algo, **(config.shard or {}))
         result = self._engine.detect(
             graph,
             config.louvain,
@@ -334,7 +360,7 @@ class StreamSession:
         session.config = config
         session.graph = graph
         session._metrics = None
-        session._engine = get_engine(config.algo)
+        session._engine = get_engine(config.algo, **(config.shard or {}))
         session.batches = int(batches)
         session.tracer = as_tracer(tracer)
         session.reports = list(reports) if reports else []
@@ -431,9 +457,12 @@ class StreamSession:
             result = self._apply(add, remove)
             self._record_metrics(result, result.seconds)
             return result
+        trace_ctx = current_trace_context()
         with tracer.span("batch") as span:
             result = self._apply(add, remove)
             span.set(batch=result.batch, mode=result.mode)
+            if trace_ctx is not None:
+                span.set(trace_id=trace_ctx.trace_id)
             span.count(
                 edges_added=result.edges_added,
                 edges_removed=result.edges_removed,

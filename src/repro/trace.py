@@ -43,8 +43,11 @@ built-in engines: ``run``, ``batch``, ``level``, ``optimization``,
 
 from __future__ import annotations
 
+import contextvars
 import json
 import math
+import uuid
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any
@@ -56,6 +59,12 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "as_tracer",
+    "TraceContext",
+    "new_trace_id",
+    "bind_trace_context",
+    "unbind_trace_context",
+    "current_trace_context",
+    "trace_context",
     "RunReport",
     "report_from_result",
     "spans_from_timings",
@@ -65,6 +74,80 @@ __all__ = [
 
 #: Identifier (and version) of the JSON report schema this module writes.
 TRACE_SCHEMA = "repro.trace/1"
+
+
+# --------------------------------------------------------------------- #
+# Trace context: one id per request, carried across threads + processes
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TraceContext:
+    """The ambient identity of the trace being recorded.
+
+    ``trace_id`` names one end-to-end story (a serve request, a CLI
+    run); ``span_path`` is the ``/``-joined name path of the span under
+    which remotely-produced spans should re-parent (e.g.
+    ``"request/batch/level"``).  The dataclass is frozen and picklable,
+    so it travels verbatim over the shard coordinator→worker command
+    pipe and re-parents worker spans under the originating request
+    instead of leaving orphan trees.
+    """
+
+    trace_id: str
+    span_path: str = ""
+
+    def child(self, name: str) -> "TraceContext":
+        """The context one span deeper (``span_path + "/" + name``)."""
+        path = f"{self.span_path}/{name}" if self.span_path else name
+        return TraceContext(self.trace_id, path)
+
+    def to_dict(self) -> dict[str, str]:
+        return {"trace_id": self.trace_id, "span_path": self.span_path}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any] | None) -> "TraceContext | None":
+        if not data or not data.get("trace_id"):
+            return None
+        return cls(str(data["trace_id"]), str(data.get("span_path", "")))
+
+
+_trace_var: contextvars.ContextVar[TraceContext | None] = contextvars.ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def new_trace_id() -> str:
+    """Mint a fresh trace id, e.g. ``tr-9f2c01ab34de5f67``."""
+    return f"tr-{uuid.uuid4().hex[:16]}"
+
+
+def bind_trace_context(ctx: TraceContext | None):
+    """Bind ``ctx`` to the current context; returns a reset token.
+
+    Note that ``loop.run_in_executor`` does **not** copy contextvars
+    into the worker thread (only ``asyncio.to_thread`` does) — callers
+    that offload work must re-bind explicitly inside the callable.
+    """
+    return _trace_var.set(ctx)
+
+
+def unbind_trace_context(token) -> None:
+    _trace_var.reset(token)
+
+
+def current_trace_context() -> TraceContext | None:
+    return _trace_var.get()
+
+
+@contextmanager
+def trace_context(ctx: TraceContext | None = None):
+    """``with trace_context() as ctx:`` — bind a (fresh) trace context."""
+    if ctx is None:
+        ctx = TraceContext(new_trace_id())
+    token = _trace_var.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _trace_var.reset(token)
 
 
 def _is_nonfinite(value: Any) -> bool:
@@ -191,11 +274,32 @@ class _SpanContext:
 
     def __exit__(self, *exc: object) -> None:
         self._span.seconds += perf_counter() - self._start
-        self._tracer._stack.pop()
+        tracer = self._tracer
+        flight = tracer.flight
+        if flight is not None:
+            # The span itself is still on the stack, so the joined
+            # names spell its full path (computed before the pop).
+            span = self._span
+            flight.record_span(
+                span.name,
+                path="/".join(s.name for s in tracer._stack),
+                seconds=span.seconds,
+                trace_id=tracer.trace_id,
+                attributes=span.attributes or None,
+                counters=span.counters or None,
+            )
+        tracer._stack.pop()
 
 
 class Tracer:
     """Records nested spans; hand one to any solver via ``tracer=``.
+
+    ``flight`` (a :class:`repro.obs.flight.FlightRecorder`, duck-typed
+    so this module stays import-clean of :mod:`repro.obs`) receives one
+    ``record_span`` call per closed ``with``-span, tagged with the
+    tracer's ``trace_id`` (falling back to the ambient
+    :class:`TraceContext` inside the recorder) — that is how partial
+    progress of a crashed run stays recoverable.
 
     >>> tracer = Tracer()
     >>> with tracer.span("run", engine="vectorized") as run:
@@ -207,9 +311,11 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, *, flight=None, trace_id: str | None = None) -> None:
         self.roots: list[Span] = []
         self._stack: list[Span] = []
+        self.flight = flight if flight is not None and flight.enabled else None
+        self.trace_id = trace_id
 
     @property
     def current(self) -> Span | None:
@@ -240,11 +346,7 @@ class Tracer:
             counters=dict(counters or {}),
             seconds=seconds,
         )
-        if self._stack:
-            self._stack[-1].children.append(span)
-        else:
-            self.roots.append(span)
-        return span
+        return self.attach(span)
 
     def attach(self, span: Span) -> Span:
         """Attach a pre-built (closed) span to the current span."""
@@ -252,6 +354,20 @@ class Tracer:
             self._stack[-1].children.append(span)
         else:
             self.roots.append(span)
+        if self.flight is not None:
+            # Attached spans are already closed, so they are flight-
+            # recorded here (a with-span records at __exit__); their
+            # path extends the currently-open stack — this is how
+            # shard worker spans reach the ring.
+            prefix = "/".join(s.name for s in self._stack)
+            self.flight.record_span(
+                span.name,
+                path=f"{prefix}/{span.name}" if prefix else span.name,
+                seconds=span.seconds,
+                trace_id=span.attributes.get("trace_id") or self.trace_id,
+                attributes=span.attributes or None,
+                counters=span.counters or None,
+            )
         return span
 
     def annotate(self, **attributes: Any) -> None:
@@ -303,6 +419,8 @@ class NullTracer:
     """
 
     enabled = False
+    flight = None
+    trace_id = None
 
     def __init__(self) -> None:
         self.roots: list[Span] = []

@@ -11,6 +11,21 @@ from repro.graph.csr import CSRGraph
 from repro.graph.generators import caveman, karate_club, lfr_like, ring
 
 
+@pytest.fixture(autouse=True)
+def _restore_process_flight_recorder():
+    """Isolate the process-wide flight recorder between tests.
+
+    ``SessionManager`` installs its recorder via ``set_flight_recorder``
+    (so SIGUSR2 / crash hooks find it); without this restore, a serve
+    test would leak its ring into later journal-path bundle tests.
+    """
+    from repro.obs.flight import get_flight_recorder, set_flight_recorder
+
+    original = get_flight_recorder()
+    yield
+    set_flight_recorder(original)
+
+
 @pytest.fixture
 def karate() -> CSRGraph:
     """Zachary's karate club."""

@@ -10,6 +10,7 @@ from repro.core.engine import (
     LabelPropagationEngine,
     LeidenEngine,
     LouvainEngine,
+    ShardedEngine,
     SolverEngine,
     get_engine,
 )
@@ -24,10 +25,13 @@ from repro.metrics.modularity import modularity
 # Registry
 # --------------------------------------------------------------------- #
 def test_registry_resolves_every_algo():
-    assert ALGO_NAMES == ("louvain", "leiden", "lpa")
+    assert ALGO_NAMES == ("louvain", "leiden", "lpa", "sharded")
     assert isinstance(get_engine("louvain"), LouvainEngine)
     assert isinstance(get_engine("leiden"), LeidenEngine)
     assert isinstance(get_engine("lpa"), LabelPropagationEngine)
+    sharded = get_engine("sharded", workers=3, pool="inline")
+    assert isinstance(sharded, ShardedEngine)
+    assert (sharded.workers, sharded.pool) == (3, "inline")
     for name in ("seq", "plm", "lu", "coarse", "sort", "multigpu"):
         engine = get_engine(name)
         assert isinstance(engine, SolverEngine)

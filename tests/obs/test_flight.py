@@ -1,0 +1,339 @@
+"""Tests for repro.obs.flight — ring bounds, journals, watchdog, bundles."""
+
+from __future__ import annotations
+
+import json
+import tarfile
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.flight import (
+    FLIGHT_SCHEMA,
+    NULL_FLIGHT,
+    FlightRecorder,
+    Watchdog,
+    build_debug_bundle,
+    get_flight_recorder,
+    load_journal,
+    set_flight_recorder,
+    stitch_spans,
+    validate_flight,
+)
+
+# --------------------------------------------------------------------- #
+# Ring budget
+# --------------------------------------------------------------------- #
+
+
+def test_ring_never_exceeds_byte_budget():
+    recorder = FlightRecorder(2048)
+    for i in range(500):
+        recorder.record_log({"event": f"e{i}", "blob": "x" * (i % 80)})
+        assert recorder.bytes <= 2048
+    snap = recorder.snapshot()
+    assert snap["bytes"] <= 2048
+    assert snap["recorded"]["log"] == 500
+    assert snap["dropped"]["log"] > 0
+    # Newest entries survive, oldest are evicted.
+    events = [entry["record"]["event"] for entry in snap["entries"]]
+    assert events[-1] == "e499"
+    assert "e0" not in events
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    budget=st.integers(min_value=128, max_value=4096),
+    sizes=st.lists(st.integers(min_value=0, max_value=600), max_size=60),
+)
+def test_ring_budget_property(budget, sizes):
+    """Invariant: stored bytes never exceed the budget under any burst."""
+    recorder = FlightRecorder(budget)
+    for i, size in enumerate(sizes):
+        kind = ("log", "metric", "span")[i % 3]
+        if kind == "log":
+            recorder.record_log({"event": "burst", "pad": "x" * size})
+        elif kind == "metric":
+            recorder.record_metric("m", float(size), labels={"pad": "x" * size})
+        else:
+            recorder.record_span(
+                "s", path="a/b", seconds=0.1,
+                attributes={"pad": "x" * size},
+            )
+        assert recorder.bytes <= budget
+    snap = recorder.snapshot()
+    assert snap["bytes"] <= budget
+    assert sum(snap["recorded"].values()) - sum(snap["dropped"].values()) == len(
+        snap["entries"]
+    )
+    assert validate_flight(snap) == []
+
+
+def test_oversize_entry_is_dropped_not_stored():
+    recorder = FlightRecorder(256)
+    recorder.record_log({"event": "huge", "pad": "x" * 1000})
+    assert recorder.bytes == 0
+    assert recorder.snapshot()["dropped"]["log"] == 1
+
+
+def test_snapshot_filters():
+    recorder = FlightRecorder(1 << 16)
+    recorder.record_span("a", path="", seconds=0.1, trace_id="tr-1")
+    recorder.record_span("b", path="", seconds=0.1, trace_id="tr-2")
+    recorder.record_log({"event": "x"}, )
+    only = recorder.snapshot(trace_id="tr-1")
+    assert [e["name"] for e in only["entries"]] == ["a"]
+    spans = recorder.snapshot(kinds=("span",))
+    assert {e["kind"] for e in spans["entries"]} == {"span"}
+
+
+def test_null_flight_absorbs_everything():
+    NULL_FLIGHT.record_log({"event": "x"})
+    NULL_FLIGHT.record_span("s", path="", seconds=0.0)
+    NULL_FLIGHT.record_metric("m", 1.0)
+    snap = NULL_FLIGHT.snapshot()
+    assert snap["entries"] == []
+    assert validate_flight(snap) == []
+
+
+def test_process_recorder_registry():
+    original = get_flight_recorder()
+    recorder = FlightRecorder(1024)
+    try:
+        set_flight_recorder(recorder)
+        assert get_flight_recorder() is recorder
+    finally:
+        set_flight_recorder(original)
+
+
+# --------------------------------------------------------------------- #
+# Validation
+# --------------------------------------------------------------------- #
+
+
+def test_validate_flight_rejects_garbage():
+    assert validate_flight([]) != []
+    assert validate_flight({"schema": "nope"}) != []
+    bad = FlightRecorder(1024).snapshot()
+    bad["entries"] = [{"kind": "mystery", "ts": 1.0}]
+    assert validate_flight(bad) != []
+
+
+# --------------------------------------------------------------------- #
+# Journal: the crash-surviving path
+# --------------------------------------------------------------------- #
+
+
+def test_journal_round_trip(tmp_path):
+    journal = tmp_path / "flight-123.jsonl"
+    recorder = FlightRecorder(1 << 16, journal=journal)
+    recorder.record_log({"event": "one"})
+    recorder.record_span("s", path="a", seconds=0.5, trace_id="tr-9")
+    recorder.record_metric("m", 2.0)
+    recorder.close()
+
+    snap = load_journal(journal)
+    assert snap["schema"] == FLIGHT_SCHEMA
+    assert snap["source"] == "journal"
+    assert len(snap["entries"]) == 3
+    assert validate_flight(snap) == []
+
+
+def test_journal_skips_torn_final_line(tmp_path):
+    journal = tmp_path / "flight-1.jsonl"
+    recorder = FlightRecorder(1 << 16, journal=journal)
+    recorder.record_log({"event": "whole"})
+    recorder.close()
+    # Simulate a SIGKILL mid-write: a torn, non-JSON final line.
+    with journal.open("a") as fh:
+        fh.write('{"kind": "log", "ts": 1.0, "rec')
+
+    snap = load_journal(journal)
+    assert snap["torn_lines"] == 1
+    assert [e["record"]["event"] for e in snap["entries"]] == ["whole"]
+
+
+def test_journal_directory_merges_processes(tmp_path):
+    for pid, event in ((11, "from-a"), (22, "from-b")):
+        recorder = FlightRecorder(
+            1 << 16, journal=tmp_path / f"flight-{pid}.jsonl"
+        )
+        recorder.record_log({"event": event})
+        recorder.close()
+    snap = load_journal(tmp_path)
+    events = {e["record"]["event"] for e in snap["entries"]}
+    assert events == {"from-a", "from-b"}
+    assert len(snap["journal_files"]) == 2
+
+
+def test_journal_budget_keeps_newest(tmp_path):
+    journal = tmp_path / "flight-5.jsonl"
+    recorder = FlightRecorder(1 << 20, journal=journal)
+    for i in range(50):
+        recorder.record_log({"event": f"e{i:03d}"})
+    recorder.close()
+    snap = load_journal(journal, max_bytes=512)
+    events = [e["record"]["event"] for e in snap["entries"]]
+    assert events[-1] == "e049"
+    assert len(events) < 50
+    assert events == sorted(events)  # oldest-first order preserved
+
+
+# --------------------------------------------------------------------- #
+# Stitching
+# --------------------------------------------------------------------- #
+
+
+def test_stitch_spans_rebuilds_tree():
+    recorder = FlightRecorder(1 << 16)
+    # Completed spans arrive leaves-first, like a real tracer run; every
+    # recorded path ends with the span's own name (the span is still on
+    # the tracer stack when it closes).
+    recorder.record_span(
+        "optimization", path="request/batch/run/level/optimization",
+        seconds=0.2, trace_id="tr-x",
+    )
+    recorder.record_span("level", path="request/batch/run/level",
+                         seconds=0.3, trace_id="tr-x")
+    recorder.record_span("run", path="request/batch/run", seconds=0.4,
+                         trace_id="tr-x")
+    recorder.record_span("batch", path="request/batch", seconds=0.5,
+                         trace_id="tr-x")
+    recorder.record_span("request", path="request", seconds=0.6,
+                         trace_id="tr-x")
+    recorder.record_span("noise", path="noise", seconds=0.1)
+
+    entries = recorder.snapshot(kinds=("span",))["entries"]
+    trees = stitch_spans(entries)
+    assert set(trees) == {"tr-x", "untraced"}
+    root = trees["tr-x"]
+    assert root.attributes["trace_id"] == "tr-x"
+    assert len(root.children) == 1
+    chain = []
+    span = root.children[0]
+    while span is not None:
+        chain.append(span.name)
+        span = span.children[0] if span.children else None
+    assert chain == ["request", "batch", "run", "level", "optimization"]
+    assert trees["tr-x"].find("batch")[0].seconds == 0.5
+
+
+def test_stitch_spans_repeated_paths_become_siblings():
+    recorder = FlightRecorder(1 << 16)
+    for i in range(3):
+        recorder.record_span("level", path="run/level", seconds=0.1 * (i + 1),
+                             trace_id="tr-y")
+    recorder.record_span("run", path="run", seconds=1.0, trace_id="tr-y")
+    trees = stitch_spans(recorder.snapshot(kinds=("span",))["entries"])
+    (run,) = trees["tr-y"].children
+    assert run.name == "run"
+    assert [child.name for child in run.children] == ["level"] * 3
+
+
+# --------------------------------------------------------------------- #
+# Watchdog
+# --------------------------------------------------------------------- #
+
+
+def test_watchdog_fires_once_per_arming():
+    fired = []
+    ready = threading.Event()
+
+    def on_stall(note):
+        fired.append(note)
+        ready.set()
+
+    dog = Watchdog(0.05, on_stall)
+    try:
+        dog.arm("apply session=s1")
+        assert ready.wait(2.0), "watchdog did not fire"
+        time.sleep(0.15)
+        assert fired == ["apply session=s1"]  # one-shot per arming
+        assert dog.fired == 1
+    finally:
+        dog.close()
+
+
+def test_watchdog_disarm_and_beat_prevent_firing():
+    fired = []
+    dog = Watchdog(0.08, fired.append)
+    try:
+        dog.arm("a")
+        dog.disarm()
+        time.sleep(0.2)
+        assert fired == []
+        dog.arm("b")
+        for _ in range(4):
+            time.sleep(0.04)
+            dog.beat()  # keep extending the deadline
+        dog.disarm()
+        assert fired == []
+    finally:
+        dog.close()
+
+
+def test_watchdog_callback_errors_do_not_kill_thread():
+    calls = []
+
+    def explode(note):
+        calls.append(note)
+        raise RuntimeError("boom")
+
+    dog = Watchdog(0.04, explode)
+    try:
+        dog.arm("first")
+        time.sleep(0.15)
+        dog.arm("second")
+        time.sleep(0.15)
+        assert calls == ["first", "second"]
+    finally:
+        dog.close()
+
+
+# --------------------------------------------------------------------- #
+# Debug bundles
+# --------------------------------------------------------------------- #
+
+
+def test_build_debug_bundle_from_journals(tmp_path):
+    journal_dir = tmp_path / "flight"
+    recorder = FlightRecorder(1 << 16, journal=journal_dir / "flight-9.jsonl")
+    recorder.record_log({"event": "before-crash", "cid": "req-abc"})
+    recorder.record_span("batch", path="request", seconds=0.2,
+                         trace_id="tr-dead")
+    recorder.close()
+
+    out = tmp_path / "bundle.tar.gz"
+    manifest = build_debug_bundle(
+        out, port=None, flight_dir=journal_dir, trajectory=None,
+        reason="test-crash",
+    )
+    assert out.exists()
+    assert manifest["reason"] == "test-crash"
+    assert "flight.json" in manifest["pieces"]
+    with tarfile.open(out) as tar:
+        names = tar.getnames()
+        assert {"flight.json", "env.json", "MANIFEST.json"} <= set(names)
+        flight = json.load(tar.extractfile("flight.json"))
+    assert validate_flight(flight) == []
+    assert flight["source"] == "journal"
+    kinds = {entry["kind"] for entry in flight["entries"]}
+    assert kinds == {"log", "span"}
+
+
+def test_build_debug_bundle_survives_everything_missing(tmp_path):
+    out = tmp_path / "empty.tar.gz"
+    manifest = build_debug_bundle(
+        out, port=None, flight_dir=tmp_path / "nowhere", trajectory=None
+    )
+    assert out.exists()
+    # env.json and the manifest itself are always there.
+    assert "env.json" in manifest["pieces"]
+
+
+def test_recorder_requires_positive_budget():
+    with pytest.raises(ValueError):
+        FlightRecorder(0)

@@ -226,3 +226,96 @@ def test_process_default_registry():
         assert get_registry() is mine
     finally:
         set_registry(previous)
+
+
+# --------------------------------------------------------------------- #
+# Quantile edge cases (pinned behaviour)
+# --------------------------------------------------------------------- #
+
+
+def test_quantile_empty_histogram_is_zero_for_every_q():
+    h = MetricsRegistry().histogram("lat", "latency", buckets=(1.0, 2.0))
+    for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+        assert h.quantile(q) == 0.0
+
+
+def test_quantile_q0_and_q1_stay_within_data_bounds():
+    h = MetricsRegistry().histogram("lat", "latency", buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.5, 3.0):
+        h.observe(v)
+    assert 0.0 <= h.quantile(0.0) <= 1.0  # lowest occupied bucket
+    assert 2.0 <= h.quantile(1.0) <= 4.0  # highest occupied bucket
+
+
+def test_quantile_all_observations_in_overflow_bucket():
+    # Everything lands beyond the last bound: the estimate clamps to the
+    # last finite bound (documented — a lower bound, not interpolation).
+    h = MetricsRegistry().histogram("lat", "latency", buckets=(1.0, 2.0))
+    for _ in range(10):
+        h.observe(99.0)
+    for q in (0.0, 0.5, 1.0):
+        assert h.quantile(q) == pytest.approx(2.0)
+
+
+def test_quantile_rejects_nan_and_out_of_range():
+    h = MetricsRegistry().histogram("lat", "latency", buckets=(1.0,))
+    h.observe(0.5)
+    for bad in (float("nan"), -0.1, 1.1):
+        with pytest.raises(ValueError):
+            h.quantile(bad)
+
+
+def test_observe_rejects_nan():
+    h = MetricsRegistry().histogram("lat", "latency", buckets=(1.0,))
+    with pytest.raises(ValueError):
+        h.observe(float("nan"))
+    assert h.count == 0
+
+
+# --------------------------------------------------------------------- #
+# Exemplars
+# --------------------------------------------------------------------- #
+
+
+def test_histogram_exemplar_stored_per_bucket():
+    h = MetricsRegistry().histogram("lat", "latency", buckets=(1.0, 2.0))
+    h.observe(0.5, exemplar={"trace_id": "tr-a"})
+    h.observe(1.5, exemplar={"trace_id": "tr-b"})
+    h.observe(1.7, exemplar={"trace_id": "tr-c"})  # same bucket: replaces
+    h.observe(9.0, exemplar={"trace_id": "tr-inf"})  # overflow bucket
+    exemplars = h.exemplars()
+    assert exemplars[0]["labels"] == {"trace_id": "tr-a"}
+    assert exemplars[1]["labels"] == {"trace_id": "tr-c"}
+    assert exemplars[2]["labels"] == {"trace_id": "tr-inf"}
+    assert exemplars[1]["value"] == pytest.approx(1.7)
+
+
+def test_histogram_observe_without_exemplar_keeps_previous():
+    h = MetricsRegistry().histogram("lat", "latency", buckets=(1.0,))
+    h.observe(0.5, exemplar={"trace_id": "tr-keep"})
+    h.observe(0.6)
+    assert h.exemplars()[0]["labels"] == {"trace_id": "tr-keep"}
+
+
+def test_render_appends_openmetrics_exemplar_suffix():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat_seconds", "latency", buckets=(1.0, 2.0))
+    h.observe(0.5, exemplar={"trace_id": "tr-a", "cid": "req-1"})
+    h.observe(9.0, exemplar={"trace_id": "tr-z"})
+    lines = reg.render().splitlines()
+    bucket_1 = next(
+        line for line in lines if 'le="1"' in line or 'le="1.0"' in line
+    )
+    assert " # {" in bucket_1 and 'trace_id="tr-a"' in bucket_1
+    assert 'cid="req-1"' in bucket_1
+    inf = next(line for line in lines if 'le="+Inf"' in line)
+    assert 'trace_id="tr-z"' in inf
+    # Non-exemplar series stay untouched.
+    count_line = next(line for line in lines if "lat_seconds_count" in line)
+    assert " # {" not in count_line
+
+
+def test_null_instrument_accepts_exemplar_kwarg():
+    h = NULL_REGISTRY.histogram("h", "h")
+    h.observe(1.0, exemplar={"trace_id": "tr-x"})
+    assert h.exemplars() == {}

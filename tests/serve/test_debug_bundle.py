@@ -1,0 +1,165 @@
+"""Crash-proof debug bundle: SIGKILL the server, rebuild the story.
+
+The acceptance path for the flight journal: run ``repro serve`` as a
+real OS process with journaling on, complete one batch, enqueue another
+(``batch_enqueued`` journals synchronously at enqueue time), SIGKILL
+the process with the apply in flight, then build a bundle from the
+journals alone and find the in-flight request's breadcrumbs inside.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tarfile
+import threading
+import time
+
+import pytest
+
+from repro.obs.flight import build_debug_bundle, validate_flight
+from repro.serve import ServeClient
+
+READY = re.compile(r"listening on http://[\d.]+:(\d+)")
+
+
+@pytest.fixture
+def killed_server(tmp_path):
+    """A served process SIGKILLed with a batch apply in flight."""
+    flight_dir = tmp_path / "flight"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--snapshot-dir", str(tmp_path / "snaps"),
+            "--flight-dir", str(flight_dir),
+            "--log-level", "debug",
+            "--exemplar-ms", "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=env,
+        text=True,
+    )
+    try:
+        port = None
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                break
+            match = READY.search(line)
+            if match:
+                port = int(match.group(1))
+                break
+        assert port is not None, "server never printed its ready line"
+
+        with ServeClient(port=port) as client:
+            client.create_session(
+                "crashy",
+                generate={"family": "social", "n": 4000, "m": 8, "seed": 2},
+                # Force the full pipeline on every batch so the apply
+                # is slow enough to still be running when we SIGKILL.
+                config={"frontier_fraction_limit": 1e-9},
+            )
+            client.batch("crashy", add=([0, 1], [7, 9]))  # completes
+            completed_cid = client.last_cid
+
+        def doomed_batch():
+            # Fired from a throwaway connection; the SIGKILL lands
+            # while this apply is in flight, so the request never
+            # returns — only its journal breadcrumbs survive.
+            try:
+                with ServeClient(port=port, timeout=30) as doomed:
+                    doomed.batch("crashy", add=([2, 3], [13, 17]))
+            except Exception:  # noqa: BLE001 - the point of the test
+                pass
+
+        thread = threading.Thread(target=doomed_batch, daemon=True)
+        thread.start()
+        time.sleep(0.3)  # let the batch enqueue and the apply start
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=10)
+        thread.join(timeout=10)
+        yield flight_dir, completed_cid
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+def test_bundle_from_killed_server_recovers_inflight_request(
+    killed_server, tmp_path
+):
+    flight_dir, completed_cid = killed_server
+    out = tmp_path / "bundle.tar.gz"
+    manifest = build_debug_bundle(
+        out, port=None, flight_dir=flight_dir, reason="sigkill-test"
+    )
+    assert out.exists()
+    assert "flight.json" in manifest["pieces"]
+
+    with tarfile.open(out) as tar:
+        flight = json.load(tar.extractfile("flight.json"))
+        assert "MANIFEST.json" in tar.getnames()
+    assert validate_flight(flight) == []
+    assert flight["source"] == "journal"
+
+    logs = [e for e in flight["entries"] if e["kind"] == "log"]
+    events_by_cid = {}
+    for entry in logs:
+        record = entry["record"]
+        events_by_cid.setdefault(record.get("cid"), []).append(
+            record["event"]
+        )
+    # The completed request left its full arc in the journal ...
+    assert "batch_applied" in events_by_cid.get(completed_cid, [])
+    # ... and the killed-mid-apply request left its enqueue breadcrumb
+    # (journaled synchronously before the apply started) but never its
+    # batch_applied line — that's the in-flight evidence.
+    inflight = [
+        cid for cid, events in events_by_cid.items()
+        if cid is not None
+        and "batch_enqueued" in events
+        and "batch_applied" not in events
+    ]
+    assert inflight, f"no in-flight request in journal: {events_by_cid}"
+    # Spans from the completed request survived the SIGKILL too.
+    spans = [e for e in flight["entries"] if e["kind"] == "span"]
+    assert any(e["name"] == "request" for e in spans)
+
+
+def test_debug_bundle_cli_builds_from_journals_alone(killed_server, tmp_path):
+    flight_dir, _completed = killed_server
+    out = tmp_path / "cli-bundle.tar.gz"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "debug-bundle",
+            "--port", "0",  # 0 = no live server to query
+            "--flight-dir", str(flight_dir),
+            "-o", str(out),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=60,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert str(out) in proc.stdout
+    assert out.exists()
+    with tarfile.open(out) as tar:
+        flight = json.load(tar.extractfile("flight.json"))
+    assert validate_flight(flight) == []
+    assert flight["entries"]
